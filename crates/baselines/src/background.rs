@@ -1,0 +1,48 @@
+//! Background item distribution shared by the UT and TT baselines.
+//!
+//! Following the formulation in Section 5.2 of the paper, both baseline
+//! topic models smooth with a corpus-wide background `theta_B` — the
+//! empirical item frequency distribution — mixed in with weight
+//! `lambda_B`.
+
+use tcam_data::RatingCuboid;
+
+/// Empirical item distribution of a cuboid: total rating mass per item,
+/// normalized. Falls back to uniform for an empty cuboid.
+pub fn empirical_item_distribution(cuboid: &RatingCuboid) -> Vec<f64> {
+    let mut dist = vec![0.0; cuboid.num_items()];
+    for r in cuboid.entries() {
+        dist[r.item.index()] += r.value;
+    }
+    tcam_math::vecops::normalize_in_place(&mut dist);
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::{ItemId, Rating, TimeId, UserId};
+
+    #[test]
+    fn proportional_to_mass() {
+        let c = RatingCuboid::from_ratings(
+            2,
+            1,
+            3,
+            vec![
+                Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: 3.0 },
+                Rating { user: UserId(1), time: TimeId(0), item: ItemId(2), value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let d = empirical_item_distribution(&c);
+        assert_eq!(d, vec![0.75, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn empty_is_uniform() {
+        let c = RatingCuboid::from_ratings(1, 1, 4, vec![]).unwrap();
+        let d = empirical_item_distribution(&c);
+        assert_eq!(d, vec![0.25; 4]);
+    }
+}

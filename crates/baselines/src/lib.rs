@@ -1,0 +1,75 @@
+//! # tcam-baselines
+//!
+//! Every competitor model from the paper's evaluation (Section 5.2),
+//! implemented from scratch:
+//!
+//! * [`UserTopicModel`] (**UT**) — an author-topic-style model with
+//!   background smoothing; user interests only, no temporal information.
+//! * [`TimeTopicModel`] (**TT**) — the temporal mirror image; temporal
+//!   context only, no personalization.
+//! * [`Bprmf`] — matrix factorization for item ranking trained with
+//!   Bayesian Personalized Ranking (Rendle et al., UAI 2009).
+//! * [`Bptf`] — Bayesian Probabilistic Tensor Factorization (Xiong et
+//!   al., SDM 2010) with a full Gauss–Wishart Gibbs sampler.
+//! * [`MostPopular`] / [`TimePopular`] — non-personalized reference
+//!   scorers (not in the paper; useful sanity floors).
+
+// Lint policy: `!(x > 0.0)` is used deliberately throughout to treat
+// NaN as invalid (a plain `x <= 0.0` would accept NaN); indexed loops in
+// the EM/Gibbs kernels address several parallel arrays at once, where
+// iterator zips hurt readability more than they help.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod background;
+pub mod bprmf;
+pub mod bptf;
+pub mod popularity;
+pub mod tt;
+pub mod ut;
+
+pub use background::empirical_item_distribution;
+pub use bprmf::{Bprmf, BprmfConfig};
+pub use bptf::{Bptf, BptfConfig};
+pub use popularity::{MostPopular, TimePopular};
+pub use tt::{TimeTopicModel, TtConfig};
+pub use ut::{UserTopicModel, UtConfig};
+
+/// Errors from baseline model fitting.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Configuration parameter out of range.
+    InvalidConfig {
+        /// Which field failed.
+        field: &'static str,
+        /// Constraint violated.
+        reason: &'static str,
+    },
+    /// The training cuboid is unusable.
+    BadData(&'static str),
+    /// Numerical failure bubbled up from the math substrate.
+    Math(tcam_math::MathError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            BaselineError::BadData(msg) => write!(f, "bad training data: {msg}"),
+            BaselineError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<tcam_math::MathError> for BaselineError {
+    fn from(e: tcam_math::MathError) -> Self {
+        BaselineError::Math(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,148 @@
+//! Non-personalized popularity scorers.
+//!
+//! Not part of the paper's comparison set, but indispensable sanity
+//! floors: any model claiming to capture interest or temporal context
+//! must beat raw popularity, and temporal popularity is a surprisingly
+//! strong baseline on bursty data.
+
+use serde::{Deserialize, Serialize};
+use tcam_data::{RatingCuboid, TimeId};
+
+/// Scores every item by its global training popularity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MostPopular {
+    scores: Vec<f64>,
+}
+
+impl MostPopular {
+    /// Counts item mass over the whole cuboid.
+    pub fn fit(cuboid: &RatingCuboid) -> Self {
+        MostPopular { scores: crate::background::empirical_item_distribution(cuboid) }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Popularity score of one item.
+    pub fn predict(&self, item: usize) -> f64 {
+        self.scores[item]
+    }
+
+    /// Fills scores for all items.
+    pub fn predict_all(&self, scores: &mut [f64]) {
+        scores.copy_from_slice(&self.scores);
+    }
+}
+
+/// Scores every item by its popularity *within the query interval*,
+/// backing off to global popularity for intervals with no data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimePopular {
+    per_interval: Vec<Vec<f64>>,
+    global: Vec<f64>,
+    /// Back-off mixing weight toward the global distribution.
+    backoff: f64,
+}
+
+impl TimePopular {
+    /// Counts per-interval item mass; `backoff` in `[0, 1]` is the weight
+    /// of the global distribution mixed into every interval.
+    pub fn fit(cuboid: &RatingCuboid, backoff: f64) -> Self {
+        let backoff = backoff.clamp(0.0, 1.0);
+        let global = crate::background::empirical_item_distribution(cuboid);
+        let per_interval = (0..cuboid.num_times())
+            .map(|t| {
+                let mut dist = vec![0.0; cuboid.num_items()];
+                for r in cuboid.time_entries(TimeId::from(t)) {
+                    dist[r.item.index()] += r.value;
+                }
+                let mass: f64 = dist.iter().sum();
+                if mass > 0.0 {
+                    for (d, &g) in dist.iter_mut().zip(global.iter()) {
+                        *d = (1.0 - backoff) * (*d / mass) + backoff * g;
+                    }
+                } else {
+                    dist.copy_from_slice(&global);
+                }
+                dist
+            })
+            .collect();
+        TimePopular { per_interval, global, backoff }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Per-interval popularity score of one item.
+    pub fn predict(&self, time: TimeId, item: usize) -> f64 {
+        self.per_interval[time.index()][item]
+    }
+
+    /// Fills scores for all items at interval `t`.
+    pub fn predict_all(&self, time: TimeId, scores: &mut [f64]) {
+        scores.copy_from_slice(&self.per_interval[time.index()]);
+    }
+
+    /// Back-off weight used at fit time.
+    pub fn backoff(&self) -> f64 {
+        self.backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::{ItemId, Rating, UserId};
+
+    fn r(u: u32, t: u32, v: u32) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value: 1.0 }
+    }
+
+    #[test]
+    fn most_popular_ranks_by_count() {
+        let c = RatingCuboid::from_ratings(
+            3,
+            1,
+            3,
+            vec![r(0, 0, 1), r(1, 0, 1), r(2, 0, 1), r(0, 0, 0)],
+        )
+        .unwrap();
+        let m = MostPopular::fit(&c);
+        assert!(m.predict(1) > m.predict(0));
+        assert_eq!(m.predict(2), 0.0);
+    }
+
+    #[test]
+    fn time_popular_tracks_interval() {
+        let c = RatingCuboid::from_ratings(
+            2,
+            2,
+            2,
+            vec![r(0, 0, 0), r(1, 0, 0), r(0, 1, 1), r(1, 1, 1)],
+        )
+        .unwrap();
+        let m = TimePopular::fit(&c, 0.0);
+        assert!(m.predict(TimeId(0), 0) > m.predict(TimeId(0), 1));
+        assert!(m.predict(TimeId(1), 1) > m.predict(TimeId(1), 0));
+    }
+
+    #[test]
+    fn empty_interval_backs_off_to_global() {
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![r(0, 0, 0), r(1, 0, 1)]).unwrap();
+        let m = TimePopular::fit(&c, 0.1);
+        let mut scores = vec![0.0; 2];
+        m.predict_all(TimeId(1), &mut scores);
+        assert_eq!(scores, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn backoff_clamped() {
+        let c = RatingCuboid::from_ratings(1, 1, 2, vec![r(0, 0, 0)]).unwrap();
+        assert_eq!(TimePopular::fit(&c, 7.0).backoff(), 1.0);
+        assert_eq!(TimePopular::fit(&c, -1.0).backoff(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion micro-bench: one BPTF Gibbs sweep (the unit of Table 4's
+//! slow column) on a tiny dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcam_baselines::{Bptf, BptfConfig};
+use tcam_data::{synth, SynthDataset};
+
+fn bench_bptf(c: &mut Criterion) {
+    let data = SynthDataset::generate(synth::tiny(1)).expect("generation");
+    let mut group = c.benchmark_group("bptf");
+    group.sample_size(10);
+
+    for d in [4usize, 8, 16] {
+        group.bench_function(format!("one_sweep_d{d}"), |b| {
+            let config = BptfConfig {
+                num_factors: d,
+                burn_in: 0,
+                num_samples: 1,
+                ..BptfConfig::default()
+            };
+            b.iter(|| Bptf::fit(&data.cuboid, &config).expect("fit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bptf);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-bench: the probability samplers that dominate the
+//! synthetic generator (categorical/alias/Zipf) and the BPTF Gibbs
+//! sweep (normal, gamma, Dirichlet, Wishart).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcam_math::dist::{AliasTable, Categorical, Dirichlet, Gamma, Normal, Wishart, Zipf};
+use tcam_math::{Matrix, Pcg64};
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / i as f64).collect();
+    let categorical = Categorical::new(&weights).expect("valid");
+    let alias = AliasTable::new(&weights).expect("valid");
+    let zipf = Zipf::new(1000, 1.1).expect("valid");
+    let normal = Normal::standard();
+    let gamma = Gamma::new(2.5, 1.0).expect("valid");
+    let dirichlet = Dirichlet::symmetric(50, 0.5).expect("valid");
+    let wishart = Wishart::new(&Matrix::identity(16), 18.0).expect("valid");
+
+    group.bench_function("categorical_linear_1000", |b| {
+        let mut rng = Pcg64::new(1);
+        b.iter(|| categorical.sample(&mut rng))
+    });
+    group.bench_function("alias_table_1000", |b| {
+        let mut rng = Pcg64::new(2);
+        b.iter(|| alias.sample(&mut rng))
+    });
+    group.bench_function("zipf_1000", |b| {
+        let mut rng = Pcg64::new(3);
+        b.iter(|| zipf.sample(&mut rng))
+    });
+    group.bench_function("normal", |b| {
+        let mut rng = Pcg64::new(4);
+        b.iter(|| normal.sample(&mut rng))
+    });
+    group.bench_function("gamma", |b| {
+        let mut rng = Pcg64::new(5);
+        b.iter(|| gamma.sample(&mut rng))
+    });
+    group.bench_function("dirichlet_50", |b| {
+        let mut rng = Pcg64::new(6);
+        b.iter(|| dirichlet.sample(&mut rng))
+    });
+    group.bench_function("wishart_16x16", |b| {
+        let mut rng = Pcg64::new(7);
+        b.iter(|| wishart.sample(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-bench: cost of one EM iteration for ITCAM and TTCAM,
+//! serial vs multi-threaded (the offline-training cost of Table 4 per
+//! iteration), on a fixed tiny dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcam_core::{FitConfig, ItcamModel, TtcamModel};
+use tcam_data::{synth, SynthDataset};
+
+fn bench_em(c: &mut Criterion) {
+    let data = SynthDataset::generate(synth::digg_like(0.1, 1)).expect("generation");
+    let mut group = c.benchmark_group("em_iteration");
+    group.sample_size(10);
+
+    let base = FitConfig {
+        num_user_topics: 12,
+        num_time_topics: 10,
+        max_iterations: 1,
+        tolerance: 0.0,
+        ..FitConfig::default()
+    };
+
+    group.bench_function("itcam_serial", |b| {
+        b.iter(|| ItcamModel::fit(&data.cuboid, &base).expect("fit"))
+    });
+    group.bench_function("ttcam_serial", |b| {
+        b.iter(|| TtcamModel::fit(&data.cuboid, &base).expect("fit"))
+    });
+    let parallel = FitConfig { num_threads: 4, ..base.clone() };
+    group.bench_function("ttcam_4_threads", |b| {
+        b.iter(|| TtcamModel::fit(&data.cuboid, &parallel).expect("fit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

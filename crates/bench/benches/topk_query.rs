@@ -1,0 +1,89 @@
+//! Criterion micro-bench behind Figure 8: TA vs brute-force top-k query
+//! latency on a large-catalog (douban-like) TTCAM model, plus the BPTF
+//! brute-force comparator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tcam_baselines::{Bptf, BptfConfig};
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, SynthDataset, TimeId, UserId};
+use tcam_math::Pcg64;
+use tcam_rec::scorer::NaiveBptf;
+use tcam_rec::{brute_force_top_k, TaIndex, TemporalScorer};
+
+fn bench_topk(c: &mut Criterion) {
+    let data = SynthDataset::generate(synth::douban_like(0.4, 1)).expect("generation");
+    let fit_cfg = FitConfig {
+        num_user_topics: 20,
+        num_time_topics: 10,
+        max_iterations: 5,
+        num_threads: 4,
+        ..FitConfig::default()
+    };
+    let tcam = TtcamModel::fit(&data.cuboid, &fit_cfg).expect("fit").model;
+    let bptf = Bptf::fit(
+        &data.cuboid,
+        &BptfConfig { burn_in: 1, num_samples: 1, ..BptfConfig::default() },
+    )
+    .expect("bptf fit");
+    let index = TaIndex::build(&tcam);
+    let mut rng = Pcg64::new(9);
+    let queries: Vec<(UserId, TimeId)> = (0..64)
+        .map(|_| {
+            (
+                UserId::from(rng.gen_range(data.cuboid.num_users())),
+                TimeId::from(rng.gen_range(data.cuboid.num_times())),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("top10_query");
+    group.bench_function("tcam_ta", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, t) = queries[i % queries.len()];
+            i += 1;
+            index.top_k(&tcam, u, t, 10)
+        })
+    });
+    group.bench_function("tcam_brute_force", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || vec![0.0; TemporalScorer::num_items(&tcam)],
+            |mut buffer| {
+                let (u, t) = queries[i % queries.len()];
+                i += 1;
+                brute_force_top_k(&tcam, u, t, 10, &mut buffer)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("bptf_brute_force", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || vec![0.0; TemporalScorer::num_items(&bptf)],
+            |mut buffer| {
+                let (u, t) = queries[i % queries.len()];
+                i += 1;
+                brute_force_top_k(&bptf, u, t, 10, &mut buffer)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("bptf_naive_three_vector", |b| {
+        let naive = NaiveBptf(&bptf);
+        let mut i = 0usize;
+        b.iter_batched(
+            || vec![0.0; TemporalScorer::num_items(&bptf)],
+            |mut buffer| {
+                let (u, t) = queries[i % queries.len()];
+                i += 1;
+                brute_force_top_k(&naive, u, t, 10, &mut buffer)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

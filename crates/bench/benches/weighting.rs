@@ -1,0 +1,24 @@
+//! Criterion micro-bench: cost of the Section 3.3 item-weighting
+//! pipeline — statistics computation (Eqs. 17–18) and the cuboid
+//! transform (Eq. 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcam_data::{synth, ItemWeighting, SynthDataset, WeightingScheme};
+
+fn bench_weighting(c: &mut Criterion) {
+    let data = SynthDataset::generate(synth::delicious_like(0.3, 1)).expect("generation");
+    let weighting = ItemWeighting::compute(&data.cuboid);
+
+    let mut group = c.benchmark_group("item_weighting");
+    group.bench_function("compute_statistics", |b| {
+        b.iter(|| ItemWeighting::compute(&data.cuboid))
+    });
+    group.bench_function("apply_full", |b| b.iter(|| weighting.apply(&data.cuboid)));
+    group.bench_function("apply_damped", |b| {
+        b.iter(|| weighting.apply_with(WeightingScheme::Damped, &data.cuboid))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighting);
+criterion_main!(benches);

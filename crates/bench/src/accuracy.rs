@@ -1,0 +1,71 @@
+//! Shared driver for the accuracy figures (Figures 6 and 7): fit the
+//! full suite per cross-validation fold, evaluate temporal top-k, and
+//! print one table per metric with one series per model — the same
+//! series the paper plots.
+
+use crate::report::{f4, Table};
+use crate::suite::{available_threads, fit_suite, SuiteConfig};
+use tcam_data::{CrossValidation, SynthDataset};
+use tcam_math::Pcg64;
+use tcam_rec::{evaluate, EvalConfig, EvalReport};
+
+/// Runs the full figure: suite x folds x metrics, printing tables.
+/// Returns `(model, averaged report)` pairs for callers that assert on
+/// the results (integration tests).
+pub fn run_accuracy_figure(
+    data: &SynthDataset,
+    folds: usize,
+    suite_cfg: &SuiteConfig,
+    seed: u64,
+) -> Vec<(String, EvalReport)> {
+    let cv = CrossValidation::new(&data.cuboid, folds, &mut Pcg64::new(seed));
+    let eval_cfg = EvalConfig {
+        k_max: 10,
+        num_threads: available_threads(),
+        ..EvalConfig::default()
+    };
+
+    let mut reports: Vec<(String, Vec<EvalReport>)> = Vec::new();
+    for fold in 0..cv.num_folds() {
+        let split = cv.fold(fold);
+        eprintln!(
+            "[fold {fold}] fitting suite on {} train ratings...",
+            split.train.nnz()
+        );
+        let suite = fit_suite(&split.train, suite_cfg);
+        for model in suite {
+            let report = evaluate(model.scorer.as_ref(), &split, &eval_cfg);
+            match reports.iter_mut().find(|(name, _)| *name == report.model) {
+                Some((_, rs)) => rs.push(report),
+                None => reports.push((report.model.clone(), vec![report])),
+            }
+        }
+    }
+
+    let averaged: Vec<(String, EvalReport)> = reports
+        .iter()
+        .map(|(name, rs)| (name.clone(), tcam_rec::eval::average_reports(rs)))
+        .collect();
+
+    for metric in ["Precision@k", "NDCG@k", "F1@k"] {
+        let mut table = Table::new(
+            std::iter::once("model".to_string())
+                .chain((1..=10).map(|k| format!("k={k}")))
+                .collect::<Vec<_>>(),
+        );
+        for (name, avg) in &averaged {
+            let mut row = vec![name.clone()];
+            for m in &avg.per_k {
+                row.push(f4(match metric {
+                    "Precision@k" => m.precision,
+                    "NDCG@k" => m.ndcg,
+                    _ => m.f1,
+                }));
+            }
+            table.row(row);
+        }
+        println!("\n{metric}\n{}", table.render());
+    }
+
+    averaged
+}

@@ -1,0 +1,88 @@
+//! **Figure 2**: temporal profiles of a time-oriented topic versus a
+//! user-oriented topic, detected by W-TTCAM on the delicious-like
+//! dataset.
+//!
+//! Expected shape (paper Section 3.1/5.5): the time-oriented topic's
+//! popularity spikes around one interval (in the paper, the Boston
+//! Marathon bombing in April 2013); the user-oriented topic's usage is
+//! roughly flat over time (paper example: pet adoption).
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin fig2_topic_profiles
+//!         [scale=0.3 iters=30 seed=1]`
+
+use tcam_bench::report::{banner, sparkline};
+use tcam_bench::Args;
+use tcam_core::inspect::{profile_burstiness, time_topic_summaries, user_topic_summaries};
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, ItemWeighting, SynthDataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.3);
+    let seed = args.get_u64("seed", 1);
+    let iters = args.get_usize("iters", 30);
+
+    banner("Figure 2: stable vs bursty topic temporal profiles (delicious-like)");
+    let data =
+        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let weighted = ItemWeighting::compute(&data.cuboid).apply(&data.cuboid);
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(12)
+        .with_time_topics(12)
+        .with_iterations(iters)
+        .with_threads(tcam_bench::suite::available_threads())
+        .with_seed(seed);
+    let model = TtcamModel::fit(&weighted, &fit_cfg).expect("fit").model;
+
+    let time_topics = time_topic_summaries(&model, 8);
+    let user_topics = user_topic_summaries(&model, &data.cuboid, 8);
+
+    // Most bursty time-oriented topic vs least bursty user-oriented
+    // topic — the two curves the paper plots.
+    let bursty = time_topics
+        .iter()
+        .max_by(|a, b| {
+            profile_burstiness(&a.profile)
+                .partial_cmp(&profile_burstiness(&b.profile))
+                .expect("finite")
+        })
+        .expect("at least one time topic");
+    let stable = user_topics
+        .iter()
+        .min_by(|a, b| {
+            profile_burstiness(&a.profile)
+                .partial_cmp(&profile_burstiness(&b.profile))
+                .expect("finite")
+        })
+        .expect("at least one user topic");
+
+    println!("interval axis: 0..{}\n", model.num_times() - 1);
+    println!(
+        "time-oriented  {} (burstiness {:.1}x)\n  profile |{}|\n  {}",
+        bursty.label,
+        profile_burstiness(&bursty.profile),
+        sparkline(&bursty.profile),
+        bursty.to_line()
+    );
+    println!(
+        "\nuser-oriented  {} (burstiness {:.1}x)\n  profile |{}|\n  {}",
+        stable.label,
+        profile_burstiness(&stable.profile),
+        sparkline(&stable.profile),
+        stable.to_line()
+    );
+
+    println!("\nall time-oriented topic burstiness values:");
+    for s in &time_topics {
+        println!("  {}: {:.1}x  |{}|", s.label, profile_burstiness(&s.profile), sparkline(&s.profile));
+    }
+    println!("all user-oriented topic burstiness values:");
+    for s in &user_topics {
+        println!("  {}: {:.1}x  |{}|", s.label, profile_burstiness(&s.profile), sparkline(&s.profile));
+    }
+    println!(
+        "\nPaper reference (Fig. 2): the time-oriented topic (Boston bombing) spikes in one \
+         month; the user-oriented topic (pet adoption) shows no spike. Reproduced shape: \
+         max time-topic burstiness far above user-topic burstiness."
+    );
+}

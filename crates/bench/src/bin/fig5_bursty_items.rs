@@ -1,0 +1,71 @@
+//! **Figure 5**: temporal frequency of bursty items versus
+//! long-standing popular items on the delicious-like dataset.
+//!
+//! Expected shape (paper Section 3.3): bursty items ("flu", "mexico",
+//! "swineflu") spike sharply around the event; popular items ("news",
+//! "health", "death") stay high and flat all year. Here the planted
+//! headline event's core items play the bursty roles and the top Zipf
+//! items play the popular roles.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin fig5_bursty_items
+//!         [scale=0.3 seed=1]`
+
+use tcam_bench::report::{banner, sparkline};
+use tcam_bench::Args;
+use tcam_data::{synth, ItemId, ItemWeighting, SynthDataset, TimeId};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.3);
+    let seed = args.get_u64("seed", 1);
+
+    banner("Figure 5: bursty vs popular item temporal frequency (delicious-like)");
+    let data =
+        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let weighting = ItemWeighting::compute(&data.cuboid);
+
+    // Headline event = largest planted weight.
+    let headline = data
+        .truth
+        .events
+        .iter()
+        .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite"))
+        .expect("events exist");
+    println!(
+        "headline event: {} (peak interval {}, weight {:.2})\n",
+        headline.name, headline.center, headline.weight
+    );
+
+    println!("bursty items (event core):");
+    for &item in headline.core_items.iter().take(3) {
+        describe(item, &weighting, headline.center);
+    }
+
+    // Popular items: highest distinct-user counts overall.
+    let mut by_popularity: Vec<(usize, u32)> = (0..data.cuboid.num_items())
+        .map(|v| (v, weighting.item_user_count(ItemId::from(v))))
+        .collect();
+    by_popularity.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\npopular items (top distinct-user counts):");
+    for &(v, _) in by_popularity.iter().take(3) {
+        describe(ItemId::from(v), &weighting, headline.center);
+    }
+
+    println!(
+        "\nPaper reference (Fig. 5): bursty tags spike at the swine-flu outbreak while \
+         popular tags stay high year-round; the weighting scheme must rank the former above \
+         the latter inside time-oriented topics. Reproduced shape: bursty-degree at the \
+         event peak far exceeds 1 for core items and stays near 1 for popular items."
+    );
+}
+
+fn describe(item: ItemId, weighting: &ItemWeighting, peak: usize) {
+    let profile = weighting.temporal_profile(item);
+    println!(
+        "  {item}: |{}|  iuf {:.2}, burst@peak {:.2}, weight@peak {:.2}",
+        sparkline(&profile),
+        weighting.iuf(item),
+        weighting.bursty_degree(item, TimeId::from(peak)),
+        weighting.weight(item, TimeId::from(peak)),
+    );
+}

@@ -1,0 +1,34 @@
+//! **Figure 6**: temporal recommendation accuracy on the Digg-like
+//! dataset — Precision@k, NDCG@k and F1@k for k = 1..10 across the
+//! eight compared models, averaged over cross-validation folds.
+//!
+//! Expected shape (paper Section 5.3.2): the four TCAM variants beat
+//! UT, TT and BPRMF; BPTF lands near ITCAM; W-TTCAM is best overall;
+//! TT beats UT on this time-sensitive platform.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin fig6_digg_accuracy
+//!         [scale=0.25 folds=2 k1=20 k2=10 iters=30 seed=1]`
+
+use tcam_bench::accuracy::run_accuracy_figure;
+use tcam_bench::report::banner;
+use tcam_bench::{Args, SuiteConfig};
+use tcam_data::{synth, SynthDataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.25);
+    let folds = args.get_usize("folds", 2);
+    let seed = args.get_u64("seed", 1);
+
+    let suite_cfg = SuiteConfig {
+        k1: args.get_usize("k1", 20),
+        k2: args.get_usize("k2", 10),
+        em_iterations: args.get_usize("iters", 30),
+        seed,
+        ..SuiteConfig::default()
+    };
+
+    banner(&format!("Figure 6: temporal accuracy on digg-like (scale {scale}, {folds} folds)"));
+    let data = SynthDataset::generate(synth::digg_like(scale, seed)).expect("generation");
+    run_accuracy_figure(&data, folds, &suite_cfg, seed);
+}

@@ -1,0 +1,37 @@
+//! **Figure 7**: temporal recommendation accuracy on the MovieLens-like
+//! dataset — Precision@k, NDCG@k and F1@k for k = 1..10.
+//!
+//! Expected shape (paper Section 5.3.2): TCAM variants on top again,
+//! but — in contrast to Figure 6 — **UT beats TT** here, because movies
+//! are far less time-sensitive than news, and absolute accuracy is
+//! higher for interest-driven models.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin fig7_movielens_accuracy
+//!         [scale=0.25 folds=2 k1=20 k2=10 iters=30 seed=1]`
+
+use tcam_bench::accuracy::run_accuracy_figure;
+use tcam_bench::report::banner;
+use tcam_bench::{Args, SuiteConfig};
+use tcam_data::{synth, SynthDataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.25);
+    let folds = args.get_usize("folds", 2);
+    let seed = args.get_u64("seed", 1);
+
+    let suite_cfg = SuiteConfig {
+        k1: args.get_usize("k1", 20),
+        k2: args.get_usize("k2", 10),
+        em_iterations: args.get_usize("iters", 30),
+        seed,
+        ..SuiteConfig::default()
+    };
+
+    banner(&format!(
+        "Figure 7: temporal accuracy on movielens-like (scale {scale}, {folds} folds)"
+    ));
+    let data =
+        SynthDataset::generate(synth::movielens_like(scale, seed)).expect("generation");
+    run_accuracy_figure(&data, folds, &suite_cfg, seed);
+}

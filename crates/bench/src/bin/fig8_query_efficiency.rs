@@ -1,0 +1,101 @@
+//! **Figure 8**: online recommendation latency versus the number of
+//! recommendations k, for TCAM-TA (the Threshold Algorithm of Section
+//! 4.2), TCAM-BF (brute-force scan of Eq. 22), and BPTF (brute-force —
+//! its ranking function is not monotone, so TA does not apply), on two
+//! catalogs: douban-like (~7x more items) and movielens-like.
+//!
+//! Expected shape (paper Section 5.3.5): TCAM-TA well under TCAM-BF,
+//! which is under BPTF; all costs grow with catalog size; TA's cost
+//! grows mildly with k.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin fig8_query_efficiency
+//!         [scale=1.0 iters=10 queries=200 seed=1]`
+
+use tcam_bench::report::{banner, dur, Table};
+use tcam_bench::Args;
+use tcam_baselines::{Bptf, BptfConfig};
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, SynthConfig, SynthDataset, TimeId, UserId};
+use tcam_math::Pcg64;
+use tcam_rec::scorer::NaiveBptf;
+use tcam_rec::timing::{mean_items_examined, time_brute_force, time_ta};
+use tcam_rec::TaIndex;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 1.0);
+    let seed = args.get_u64("seed", 1);
+    let iters = args.get_usize("iters", 10);
+    let num_queries = args.get_usize("queries", 200);
+
+    for config in [synth::douban_like(scale, seed), synth::movielens_like(scale, seed)] {
+        run_dataset(config, iters, num_queries, seed);
+    }
+}
+
+fn run_dataset(config: SynthConfig, iters: usize, num_queries: usize, seed: u64) {
+    let name = config.name.clone();
+    banner(&format!("Figure 8: online top-k latency on {name}"));
+    let data = SynthDataset::generate(config).expect("generation");
+    eprintln!(
+        "[{name}] {} items, fitting TTCAM + BPTF...",
+        data.cuboid.num_items()
+    );
+
+    let threads = tcam_bench::suite::available_threads();
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(20)
+        .with_time_topics(10)
+        .with_iterations(iters)
+        .with_threads(threads)
+        .with_seed(seed);
+    let tcam = TtcamModel::fit(&data.cuboid, &fit_cfg).expect("fit").model;
+    let bptf = Bptf::fit(
+        &data.cuboid,
+        &BptfConfig { burn_in: 2, num_samples: 3, seed, ..BptfConfig::default() },
+    )
+    .expect("bptf fit");
+
+    let (index, build_time) = tcam_rec::timing::timed(|| TaIndex::build(&tcam));
+    println!("TA index build: {} ({} lists)", dur(build_time), index.num_lists());
+
+    let mut rng = Pcg64::new(seed);
+    let queries: Vec<(UserId, TimeId)> = (0..num_queries)
+        .map(|_| {
+            (
+                UserId::from(rng.gen_range(data.cuboid.num_users())),
+                TimeId::from(rng.gen_range(data.cuboid.num_times())),
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "k",
+        "TCAM-TA",
+        "TCAM-BF",
+        "BPTF",
+        "TA items examined",
+        "catalog",
+    ]);
+    for k in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
+        let ta = time_ta(&tcam, &index, &queries, k);
+        let bf = time_brute_force(&tcam, &queries, k);
+        let bptf_t = time_brute_force(&NaiveBptf(&bptf), &queries, k);
+        let examined = mean_items_examined(&tcam, &index, &queries, k);
+        table.row(vec![
+            k.to_string(),
+            dur(ta),
+            dur(bf),
+            dur(bptf_t),
+            format!("{examined:.0}"),
+            data.cuboid.num_items().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference (Fig. 8): on Douban (69,908 items) TCAM-TA finds top-10 in ~46 ms \
+         vs TCAM-BF ~150 ms vs BPTF ~280 ms; on MovieLens (10,681 items) ~9 ms vs ~30 ms \
+         vs ~75 ms. Absolute numbers differ (hardware, scale); the ordering TA < BF < BPTF \
+         and the growth with catalog size are the reproduced shape."
+    );
+}

@@ -1,0 +1,80 @@
+//! **Extension**: accuracy *ceilings* of each behavioral signal, from
+//! planted-truth oracles (interest-only, context-only, true mixture).
+//! Only a synthetic reproduction can produce these; they calibrate how
+//! much headroom each fitted model leaves on the table.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin oracle_ceilings
+//!         [scale=0.2 seed=3]`
+
+use tcam_bench::Args;
+use tcam_data::{synth, train_test_split, SynthDataset, TimeId, UserId};
+use tcam_math::Pcg64;
+use tcam_rec::{evaluate, EvalConfig, TemporalScorer};
+
+struct Oracle<'a> {
+    data: &'a SynthDataset,
+    mode: &'static str,
+}
+
+impl TemporalScorer for Oracle<'_> {
+    fn name(&self) -> &str {
+        self.mode
+    }
+    fn num_items(&self) -> usize {
+        self.data.cuboid.num_items()
+    }
+    fn score(&self, user: UserId, time: TimeId, item: usize) -> f64 {
+        let truth = &self.data.truth;
+        let interest: f64 = truth.user_interest[user.index()]
+            .iter()
+            .zip(truth.user_topics.iter())
+            .map(|(w, topic)| w * topic[item])
+            .sum();
+        let t = time.index();
+        let ctx_norm: f64 = truth
+            .events
+            .iter()
+            .map(|e| e.weight * e.profile[t])
+            .sum::<f64>()
+            .max(1e-12);
+        let context: f64 = truth
+            .events
+            .iter()
+            .map(|e| e.weight * e.profile[t] / ctx_norm * e.item_dist[item])
+            .sum();
+        let lam = truth.lambda[user.index()];
+        match self.mode {
+            "oracle-interest" => interest,
+            "oracle-context" => context,
+            _ => lam * interest + (1.0 - lam) * context,
+        }
+    }
+    fn score_all(&self, user: UserId, time: TimeId, out: &mut [f64]) {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = self.score(user, time, v);
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.2);
+    let seed = args.get_u64("seed", 3);
+    for preset in ["digg", "movielens"] {
+        let cfg = if preset == "digg" {
+            synth::digg_like(scale, seed)
+        } else {
+            synth::movielens_like(scale, seed)
+        };
+        let data = SynthDataset::generate(cfg).unwrap();
+        let split = train_test_split(&data.cuboid, 0.2, &mut Pcg64::new(seed));
+        let eval_cfg = EvalConfig { k_max: 5, num_threads: 8, ..EvalConfig::default() };
+        print!("{preset}: ");
+        for mode in ["oracle-interest", "oracle-context", "oracle-mixture"] {
+            let oracle = Oracle { data: &data, mode };
+            let r = evaluate(&oracle, &split, &eval_cfg);
+            print!("{mode}={:.3} ", r.per_k[4].ndcg);
+        }
+        println!();
+    }
+}

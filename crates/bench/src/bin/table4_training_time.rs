@@ -1,0 +1,69 @@
+//! **Table 4**: offline model training time — BPRMF vs TCAM (TTCAM) vs
+//! BPTF — on the douban-like and movielens-like datasets.
+//!
+//! Expected shape (paper Section 5.3.5): BPRMF fastest, TCAM comparable
+//! (same order of magnitude), BPTF roughly an order of magnitude slower
+//! (paper: 940 min vs 111 min vs 84 min on Douban).
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin table4_training_time
+//!         [scale=0.5 iters=30 seed=1]`
+
+use tcam_bench::report::{banner, dur, Table};
+use tcam_bench::Args;
+use tcam_baselines::{Bprmf, BprmfConfig, Bptf, BptfConfig};
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, SynthDataset};
+use tcam_rec::timing::timed;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.5);
+    let seed = args.get_u64("seed", 1);
+    let iters = args.get_usize("iters", 30);
+
+    banner("Table 4: offline training time");
+    let mut table = Table::new(vec!["dataset", "BPRMF", "TCAM", "BPTF"]);
+
+    for config in [synth::douban_like(scale, seed), synth::movielens_like(scale, seed)] {
+        let name = config.name.clone();
+        let data = SynthDataset::generate(config).expect("generation");
+        eprintln!("[{name}] {} ratings; training 3 models...", data.cuboid.nnz());
+
+        let (_, bprmf_time) = timed(|| {
+            Bprmf::fit(
+                &data.cuboid,
+                &BprmfConfig { num_epochs: iters, seed, ..BprmfConfig::default() },
+            )
+            .expect("bprmf")
+        });
+
+        let fit_cfg = FitConfig::default()
+            .with_user_topics(20)
+            .with_time_topics(10)
+            .with_iterations(iters)
+            .with_threads(1) // single-threaded for a like-for-like timing
+            .with_seed(seed);
+        let (_, tcam_time) = timed(|| TtcamModel::fit(&data.cuboid, &fit_cfg).expect("tcam"));
+
+        let (_, bptf_time) = timed(|| {
+            Bptf::fit(
+                &data.cuboid,
+                &BptfConfig {
+                    burn_in: iters / 3,
+                    num_samples: iters - iters / 3,
+                    seed,
+                    ..BptfConfig::default()
+                },
+            )
+            .expect("bptf")
+        });
+
+        table.row(vec![name, dur(bprmf_time), dur(tcam_time), dur(bptf_time)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference (Table 4, minutes): Douban 84.3 / 110.9 / 940.5 and MovieLens \
+         14.8 / 22.4 / 170.9 for BPRMF / TCAM / BPTF — i.e., TCAM within ~1.5x of BPRMF \
+         and BPTF ~8-11x slower than TCAM. The ordering and ratios are the reproduced shape."
+    );
+}

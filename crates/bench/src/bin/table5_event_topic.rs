@@ -1,0 +1,100 @@
+//! **Table 5**: the time-oriented topic corresponding to a headline
+//! event, as detected by TT, TTCAM, and W-TTCAM on the delicious-like
+//! dataset — top items of each model's best-matching topic.
+//!
+//! Expected shape (paper Section 5.5, "Michael Jackson" topic): TT and
+//! TTCAM rank long-standing popular items at the top (the paper's
+//! "news"/"world"/"headline"); W-TTCAM promotes the event's own salient
+//! co-bursting items (the paper's "michaeljackson"/"mj"/"moonwalk").
+//! With planted truth we can score this directly: the fraction of
+//! top items that are planted core items should be highest for W-TTCAM.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin table5_event_topic
+//!         [scale=0.3 iters=30 seed=1 topk=8]`
+
+use tcam_bench::report::banner;
+use tcam_bench::topics::{annotate, core_precision, popularity_ranks};
+use tcam_bench::Args;
+use tcam_core::inspect::{best_matching_time_topic, top_items};
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, ItemWeighting, SynthDataset};
+use tcam_baselines::{TimeTopicModel, TtConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.3);
+    let seed = args.get_u64("seed", 1);
+    let iters = args.get_usize("iters", 30);
+    let topk = args.get_usize("topk", 8);
+
+    banner("Table 5: headline-event topic under TT / TTCAM / W-TTCAM (delicious-like)");
+    let data =
+        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let weighting = ItemWeighting::compute(&data.cuboid);
+    let weighted = weighting.apply(&data.cuboid);
+    let pop_rank = popularity_ranks(&data, &weighting);
+
+    let headline = data
+        .truth
+        .events
+        .iter()
+        .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite"))
+        .expect("events exist");
+    println!(
+        "planted headline event: {} (peak {}, {} core items)\n",
+        headline.name,
+        headline.center,
+        headline.core_items.len()
+    );
+
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(12)
+        .with_time_topics(20)
+        .with_iterations(iters)
+        .with_threads(tcam_bench::suite::available_threads())
+        .with_seed(seed);
+
+    let tt = TimeTopicModel::fit(
+        &data.cuboid,
+        &TtConfig { num_topics: 20, max_iterations: iters, seed, ..TtConfig::default() },
+    )
+    .expect("TT fit");
+    let ttcam = TtcamModel::fit(&data.cuboid, &fit_cfg).expect("TTCAM fit").model;
+    let wttcam = TtcamModel::fit(&weighted, &fit_cfg).expect("W-TTCAM fit").model;
+
+    // Best-matching topic per model = most mass on the core items.
+    let tt_best = (0..20)
+        .map(|x| {
+            let mass: f64 =
+                headline.core_items.iter().map(|i| tt.topic(x)[i.index()]).sum();
+            (x, mass)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("topics exist")
+        .0;
+    let (ttcam_best, _) = best_matching_time_topic(&ttcam, &headline.core_items);
+    let (wttcam_best, _) = best_matching_time_topic(&wttcam, &headline.core_items);
+
+    let rows: Vec<(&str, Vec<(tcam_data::ItemId, f64)>)> = vec![
+        ("TT", top_items(tt.topic(tt_best), topk)),
+        ("TTCAM", top_items(ttcam.time_topic(ttcam_best), topk)),
+        ("W-TTCAM", top_items(wttcam.time_topic(wttcam_best), topk)),
+    ];
+
+    for (name, top) in &rows {
+        println!(
+            "{name} (core precision {:.2}):",
+            core_precision(top, &headline.core_items)
+        );
+        for &(item, p) in top {
+            println!("  {}", annotate(item, p, &headline.core_items, &weighting, &pop_rank));
+        }
+        println!();
+    }
+    println!(
+        "Paper reference (Table 5): unweighted models top the event topic with popular \
+         generic tags; W-TTCAM tops it with the event's own co-bursting tags. Reproduced \
+         shape: W-TTCAM's core precision >= TTCAM's and TT's, and its top items have \
+         higher iuf (more salient)."
+    );
+}

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the report binaries.
+//!
+//! The binaries print the same rows/series the paper's tables and
+//! figures report; these helpers keep columns aligned so the output can
+//! be diffed run-to-run and pasted into `EXPERIMENTS.md`.
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (cells are stringified already).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 decimals (metric columns).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Renders a peak-normalized profile as a sparkline-ish ASCII row.
+pub fn sparkline(profile: &[f64]) -> String {
+    const LEVELS: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    profile
+        .iter()
+        .map(|&v| {
+            let idx = ((v.clamp(0.0, 1.0)) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["model", "ndcg"]);
+        t.row(vec!["W-TTCAM", "0.2278"]);
+        t.row(vec!["TT", "0.1517"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("model"));
+        assert_eq!(lines.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(dur(std::time::Duration::from_micros(500)), "500.0 us");
+        assert_eq!(dur(std::time::Duration::from_millis(20)), "20.00 ms");
+        assert_eq!(dur(std::time::Duration::from_secs(90)), "1.5 min");
+    }
+
+    #[test]
+    fn sparkline_maps_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.ends_with('@'));
+        assert!(s.starts_with(' '));
+    }
+}

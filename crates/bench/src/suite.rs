@@ -1,0 +1,249 @@
+//! Fits the paper's full comparison suite on one training cuboid:
+//! UT, TT, ITCAM, TTCAM, W-ITCAM, W-TTCAM, BPRMF, BPTF
+//! (Section 5.2), plus the popularity floors.
+
+use std::time::Duration;
+use tcam_baselines::{
+    Bprmf, BprmfConfig, Bptf, BptfConfig, TimeTopicModel, TtConfig, UserTopicModel, UtConfig,
+};
+use tcam_core::{FitConfig, ItcamModel, TtcamModel};
+use tcam_data::{ItemWeighting, RatingCuboid};
+use tcam_rec::scorer::Named;
+use tcam_rec::TemporalScorer;
+
+/// Which models to include and with what capacity.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// User-oriented topics `K1` for TCAM / topics for UT.
+    pub k1: usize,
+    /// Time-oriented topics `K2` for TTCAM / topics for TT.
+    pub k2: usize,
+    /// EM iterations for the topic models.
+    pub em_iterations: usize,
+    /// Worker threads for TCAM's E-step.
+    pub threads: usize,
+    /// Include the two matrix/tensor factorization baselines (they
+    /// dominate suite runtime; sweeps that do not report them skip them).
+    pub include_factorization: bool,
+    /// Include the popularity floors.
+    pub include_popularity: bool,
+    /// BPRMF epochs.
+    pub bprmf_epochs: usize,
+    /// BPTF burn-in sweeps.
+    pub bptf_burn_in: usize,
+    /// BPTF averaged sweeps.
+    pub bptf_samples: usize,
+    /// Background weight `lambda_B` for the TCAM fits. The suite uses
+    /// the same 0.1 the UT/TT baselines get (Section 5.2), leveling the
+    /// smoothing across all topic models; set 0.0 for the paper's plain
+    /// TCAM. See DESIGN.md §8 and EXPERIMENTS.md.
+    pub tcam_background: f64,
+    /// Lambda shrinkage pseudo-count for the TCAM fits (0 = paper-exact
+    /// Eq. 11). Stabilizes per-user weights on laptop-scale data.
+    pub tcam_lambda_shrinkage: f64,
+    /// Seed shared by all fits.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            k1: 20,
+            k2: 10,
+            em_iterations: 30,
+            threads: available_threads(),
+            include_factorization: true,
+            include_popularity: false,
+            bprmf_epochs: 30,
+            bptf_burn_in: 8,
+            bptf_samples: 12,
+            tcam_background: 0.1,
+            tcam_lambda_shrinkage: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Number of worker threads to use by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// A fitted suite member with its training time.
+pub struct SuiteModel {
+    /// Boxed scorer, labeled as in the paper ("W-TTCAM" etc.).
+    pub scorer: Box<dyn TemporalScorer>,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+}
+
+impl SuiteModel {
+    fn new<S: TemporalScorer + 'static>(scorer: S, train_time: Duration) -> Self {
+        SuiteModel { scorer: Box::new(scorer), train_time }
+    }
+}
+
+/// Fits the full suite on `train`. Returns models in the paper's
+/// presentation order.
+pub fn fit_suite(train: &RatingCuboid, config: &SuiteConfig) -> Vec<SuiteModel> {
+    let mut out = Vec::new();
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(config.k1)
+        .with_time_topics(config.k2)
+        .with_iterations(config.em_iterations)
+        .with_threads(config.threads)
+        .with_background(config.tcam_background)
+        .with_lambda_shrinkage(config.tcam_lambda_shrinkage)
+        .with_seed(config.seed);
+
+    // Weighted cuboid shared by the W- variants (Section 3.3).
+    let (weighted, weighting_time) = tcam_rec::timing::timed(|| {
+        let weighting = ItemWeighting::compute(train);
+        weighting.apply(train)
+    });
+
+    let (ut, t) = tcam_rec::timing::timed(|| {
+        UserTopicModel::fit(
+            train,
+            &UtConfig {
+                num_topics: config.k1,
+                max_iterations: config.em_iterations,
+                seed: config.seed,
+                ..UtConfig::default()
+            },
+        )
+        .expect("UT fit failed")
+    });
+    out.push(SuiteModel::new(ut, t));
+
+    let (tt, t) = tcam_rec::timing::timed(|| {
+        TimeTopicModel::fit(
+            train,
+            &TtConfig {
+                num_topics: config.k2,
+                max_iterations: config.em_iterations,
+                seed: config.seed,
+                ..TtConfig::default()
+            },
+        )
+        .expect("TT fit failed")
+    });
+    out.push(SuiteModel::new(tt, t));
+
+    let (itcam, t) = tcam_rec::timing::timed(|| {
+        ItcamModel::fit(train, &fit_cfg).expect("ITCAM fit failed").model
+    });
+    out.push(SuiteModel::new(itcam, t));
+
+    let (ttcam, t) = tcam_rec::timing::timed(|| {
+        TtcamModel::fit(train, &fit_cfg).expect("TTCAM fit failed").model
+    });
+    out.push(SuiteModel::new(ttcam, t));
+
+    let (witcam, t) = tcam_rec::timing::timed(|| {
+        ItcamModel::fit(&weighted, &fit_cfg).expect("W-ITCAM fit failed").model
+    });
+    out.push(SuiteModel::new(Named::new("W-ITCAM", witcam), t + weighting_time));
+
+    let (wttcam, t) = tcam_rec::timing::timed(|| {
+        TtcamModel::fit(&weighted, &fit_cfg).expect("W-TTCAM fit failed").model
+    });
+    out.push(SuiteModel::new(Named::new("W-TTCAM", wttcam), t + weighting_time));
+
+    if config.include_factorization {
+        let (bprmf, t) = tcam_rec::timing::timed(|| {
+            Bprmf::fit(
+                train,
+                &BprmfConfig {
+                    num_epochs: config.bprmf_epochs,
+                    seed: config.seed,
+                    ..BprmfConfig::default()
+                },
+            )
+            .expect("BPRMF fit failed")
+        });
+        out.push(SuiteModel::new(bprmf, t));
+
+        let (bptf, t) = tcam_rec::timing::timed(|| {
+            Bptf::fit(
+                train,
+                &BptfConfig {
+                    burn_in: config.bptf_burn_in,
+                    num_samples: config.bptf_samples,
+                    seed: config.seed,
+                    ..BptfConfig::default()
+                },
+            )
+            .expect("BPTF fit failed")
+        });
+        out.push(SuiteModel::new(bptf, t));
+    }
+
+    if config.include_popularity {
+        let (pop, t) =
+            tcam_rec::timing::timed(|| tcam_baselines::MostPopular::fit(train));
+        out.push(SuiteModel::new(pop, t));
+        let (tpop, t) =
+            tcam_rec::timing::timed(|| tcam_baselines::TimePopular::fit(train, 0.2));
+        out.push(SuiteModel::new(tpop, t));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::synth;
+
+    #[test]
+    fn suite_fits_all_labels() {
+        let data = synth::SynthDataset::generate(synth::tiny(110)).unwrap();
+        let config = SuiteConfig {
+            k1: 3,
+            k2: 2,
+            em_iterations: 2,
+            threads: 1,
+            bprmf_epochs: 2,
+            bptf_burn_in: 1,
+            bptf_samples: 2,
+            include_popularity: true,
+            ..SuiteConfig::default()
+        };
+        let suite = fit_suite(&data.cuboid, &config);
+        let labels: Vec<&str> = suite.iter().map(|m| m.scorer.name()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "UT",
+                "TT",
+                "ITCAM",
+                "TTCAM",
+                "W-ITCAM",
+                "W-TTCAM",
+                "BPRMF",
+                "BPTF",
+                "MostPopular",
+                "TimePopular"
+            ]
+        );
+        for m in &suite {
+            assert_eq!(m.scorer.num_items(), data.cuboid.num_items());
+        }
+    }
+
+    #[test]
+    fn factorization_skippable() {
+        let data = synth::SynthDataset::generate(synth::tiny(111)).unwrap();
+        let config = SuiteConfig {
+            k1: 3,
+            k2: 2,
+            em_iterations: 2,
+            threads: 1,
+            include_factorization: false,
+            ..SuiteConfig::default()
+        };
+        let suite = fit_suite(&data.cuboid, &config);
+        assert_eq!(suite.len(), 6);
+    }
+}

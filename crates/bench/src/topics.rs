@@ -1,0 +1,66 @@
+//! Shared helpers for the qualitative topic tables (Tables 5–7).
+
+use tcam_data::{ItemId, ItemWeighting, SynthDataset};
+
+/// Annotates an item for topic tables: whether it is a planted core
+/// item of the given event and its global popularity rank.
+pub fn annotate(
+    item: ItemId,
+    prob: f64,
+    core: &[ItemId],
+    weighting: &ItemWeighting,
+    pop_rank: &[usize],
+) -> String {
+    let tag = if core.contains(&item) { "CORE" } else { "    " };
+    format!(
+        "{item:<6} p={prob:.3} {tag} pop-rank {:<5} iuf {:.2}",
+        pop_rank[item.index()],
+        weighting.iuf(item)
+    )
+}
+
+/// Global popularity ranks (0 = most distinct users) for every item.
+pub fn popularity_ranks(data: &SynthDataset, weighting: &ItemWeighting) -> Vec<usize> {
+    let v = data.cuboid.num_items();
+    let mut order: Vec<usize> = (0..v).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(weighting.item_user_count(ItemId::from(i)))
+    });
+    let mut rank = vec![0usize; v];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+/// Fraction of a topic's top-k items that are core items of the event.
+pub fn core_precision(top: &[(ItemId, f64)], core: &[ItemId]) -> f64 {
+    if top.is_empty() {
+        return 0.0;
+    }
+    top.iter().filter(|(item, _)| core.contains(item)).count() as f64 / top.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::synth;
+
+    #[test]
+    fn popularity_ranks_are_a_permutation() {
+        let data = synth::SynthDataset::generate(synth::tiny(120)).unwrap();
+        let weighting = ItemWeighting::compute(&data.cuboid);
+        let ranks = popularity_ranks(&data, &weighting);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..data.cuboid.num_items()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn core_precision_counts_hits() {
+        let core = vec![ItemId(1), ItemId(2)];
+        let top = vec![(ItemId(1), 0.5), (ItemId(9), 0.3), (ItemId(2), 0.2), (ItemId(7), 0.1)];
+        assert!((core_precision(&top, &core) - 0.5).abs() < 1e-12);
+        assert_eq!(core_precision(&[], &core), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Topic inspection utilities (for the paper's Figure 2 and Tables 5–7).
+
+use crate::ttcam::TtcamModel;
+use tcam_data::{ItemId, RatingCuboid, TimeId, UserId};
+
+/// A topic rendered for inspection: its top items with probabilities and
+/// its temporal activity profile.
+#[derive(Debug, Clone)]
+pub struct TopicSummary {
+    /// Label, e.g., "user-topic-3" or "time-topic-1".
+    pub label: String,
+    /// Top items with their generation probabilities, best first.
+    pub top_items: Vec<(ItemId, f64)>,
+    /// Peak-normalized temporal activity over intervals.
+    pub profile: Vec<f64>,
+}
+
+impl TopicSummary {
+    /// Renders as a single report line: `label: v12(0.31) v7(0.22) ...`.
+    pub fn to_line(&self) -> String {
+        let items: Vec<String> = self
+            .top_items
+            .iter()
+            .map(|(item, p)| format!("{item}({p:.3})"))
+            .collect();
+        format!("{}: {}", self.label, items.join(" "))
+    }
+}
+
+/// Returns the `k` highest-probability items of a distribution, best
+/// first, ties broken by lower item id.
+pub fn top_items(dist: &[f64], k: usize) -> Vec<(ItemId, f64)> {
+    tcam_math::topk::top_k_of_slice(dist, k)
+        .into_iter()
+        .map(|s| (ItemId::from(s.index), s.score))
+        .collect()
+}
+
+/// Summarizes every time-oriented topic of a TTCAM model.
+pub fn time_topic_summaries(model: &TtcamModel, top_k: usize) -> Vec<TopicSummary> {
+    (0..model.num_time_topics())
+        .map(|x| TopicSummary {
+            label: format!("time-topic-{x}"),
+            top_items: top_items(model.time_topic(x), top_k),
+            profile: model.time_topic_profile(x),
+        })
+        .collect()
+}
+
+/// Summarizes every user-oriented topic of a TTCAM model, with temporal
+/// profiles measured against the training data (a user-oriented topic
+/// has no intrinsic time distribution; its empirical usage over time is
+/// what the paper plots as the flat curve in Figure 2).
+pub fn user_topic_summaries(
+    model: &TtcamModel,
+    cuboid: &RatingCuboid,
+    top_k: usize,
+) -> Vec<TopicSummary> {
+    let k1 = model.num_user_topics();
+    let t_dim = model.num_times();
+    // usage[z][t] += c * P(z | u, v) restricted to the interest side.
+    let mut usage = vec![vec![0.0f64; t_dim]; k1];
+    for r in cuboid.entries() {
+        let theta_u = model.user_interest(r.user);
+        let mut post: Vec<f64> = (0..k1)
+            .map(|z| theta_u[z] * model.user_topic(z)[r.item.index()])
+            .collect();
+        let sum: f64 = post.iter().sum();
+        if sum <= 0.0 {
+            continue;
+        }
+        for (z, p) in post.iter_mut().enumerate() {
+            usage[z][r.time.index()] += r.value * *p / sum;
+        }
+    }
+    (0..k1)
+        .map(|z| {
+            let peak = usage[z].iter().cloned().fold(0.0, f64::max);
+            let profile = if peak > 0.0 {
+                usage[z].iter().map(|v| v / peak).collect()
+            } else {
+                usage[z].clone()
+            };
+            TopicSummary {
+                label: format!("user-topic-{z}"),
+                top_items: top_items(model.user_topic(z), top_k),
+                profile,
+            }
+        })
+        .collect()
+}
+
+/// Burstiness of a profile: peak mass divided by mean mass. Bursty
+/// (time-oriented) topics score high; stable interest topics score near 1.
+pub fn profile_burstiness(profile: &[f64]) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    let mean = profile.iter().sum::<f64>() / profile.len() as f64;
+    let peak = profile.iter().cloned().fold(0.0, f64::max);
+    if mean > 0.0 {
+        peak / mean
+    } else {
+        0.0
+    }
+}
+
+/// The time-oriented topic whose item distribution best matches a target
+/// item set (highest total probability mass on the set). Used by tests
+/// and reports to find the model topic corresponding to a planted event.
+pub fn best_matching_time_topic(model: &TtcamModel, items: &[ItemId]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for x in 0..model.num_time_topics() {
+        let dist = model.time_topic(x);
+        let mass: f64 = items.iter().map(|i| dist[i.index()]).sum();
+        if mass > best.1 {
+            best = (x, mass);
+        }
+    }
+    best
+}
+
+/// The interval at which a time-oriented topic's activity peaks.
+pub fn topic_peak_interval(model: &TtcamModel, x: usize) -> TimeId {
+    let profile = model.time_topic_profile(x);
+    TimeId::from(tcam_math::vecops::argmax(&profile).unwrap_or(0))
+}
+
+/// Mean lambda over a set of users (diagnostics for Figures 10–11).
+pub fn mean_lambda(model: &TtcamModel, users: &[UserId]) -> f64 {
+    if users.is_empty() {
+        return 0.0;
+    }
+    users.iter().map(|&u| model.lambda(u)).sum::<f64>() / users.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FitConfig;
+    use tcam_data::synth;
+
+    fn fitted() -> (tcam_data::SynthDataset, TtcamModel) {
+        let data = synth::SynthDataset::generate(synth::tiny(8)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(15)
+            .with_seed(8);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        (data, model)
+    }
+
+    #[test]
+    fn top_items_sorted_descending() {
+        let dist = [0.1, 0.4, 0.2, 0.3];
+        let top = top_items(&dist, 3);
+        assert_eq!(top[0].0, ItemId(1));
+        assert_eq!(top[1].0, ItemId(3));
+        assert_eq!(top[2].0, ItemId(2));
+    }
+
+    #[test]
+    fn summaries_have_expected_shapes() {
+        let (data, model) = fitted();
+        let time_topics = time_topic_summaries(&model, 5);
+        assert_eq!(time_topics.len(), model.num_time_topics());
+        for s in &time_topics {
+            assert_eq!(s.top_items.len(), 5);
+            assert_eq!(s.profile.len(), model.num_times());
+        }
+        let user_topics = user_topic_summaries(&model, &data.cuboid, 5);
+        assert_eq!(user_topics.len(), model.num_user_topics());
+    }
+
+    #[test]
+    fn burstiness_of_flat_profile_is_one() {
+        assert!((profile_burstiness(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!(profile_burstiness(&[0.0, 1.0, 0.0]) > 2.9);
+        assert_eq!(profile_burstiness(&[]), 0.0);
+        assert_eq!(profile_burstiness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn best_matching_topic_returns_valid_index() {
+        let (data, model) = fitted();
+        let items = data.truth.events[0].core_items.clone();
+        let (x, mass) = best_matching_time_topic(&model, &items);
+        assert!(x < model.num_time_topics());
+        assert!(mass >= 0.0);
+    }
+
+    #[test]
+    fn to_line_contains_items() {
+        let s = TopicSummary {
+            label: "t".into(),
+            top_items: vec![(ItemId(3), 0.5)],
+            profile: vec![1.0],
+        };
+        assert_eq!(s.to_line(), "t: v3(0.500)");
+    }
+
+    #[test]
+    fn peak_interval_in_range() {
+        let (_, model) = fitted();
+        for x in 0..model.num_time_topics() {
+            assert!(topic_peak_interval(&model, x).index() < model.num_times());
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Item-based TCAM (Section 3.2.1 of the paper).
+//!
+//! Generative story for each rating `(u, t, v)`:
+//!
+//! 1. `s ~ Bernoulli(lambda_u)`
+//! 2. if `s = 1`: `z ~ Multinomial(theta_u)`, `v ~ Multinomial(phi_z)`
+//! 3. else: `v ~ Multinomial(theta'_t)` — the temporal context of
+//!    interval `t` is a multinomial directly over items.
+//!
+//! The likelihood of a rating is Eq. 1 with `P(v|theta_u)` expanded by
+//! Eq. 2, and the EM updates are Eqs. 4–11. The E-step posterior
+//! `P(s, z | u, t, v)` is computed per nonzero cuboid cell; sufficient
+//! statistics are accumulated per thread shard and merged.
+
+use crate::config::{random_distribution, FitConfig, FitResult, FitTrace};
+use crate::parallel::run_sharded;
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+use tcam_data::{RatingCuboid, TimeId, UserId};
+use tcam_math::{Matrix, Pcg64};
+
+/// A fitted item-based TCAM model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItcamModel {
+    /// `theta[u][z] = P(z | theta_u)`, shape `N x K1`.
+    theta: Matrix,
+    /// `phi[z][v] = P(v | phi_z)`, shape `K1 x V`.
+    phi: Matrix,
+    /// `theta_t[t][v] = P(v | theta'_t)`, shape `T x V`.
+    theta_t: Matrix,
+    /// Per-user mixing weight `lambda_u` (Eq. 11).
+    lambda: Vec<f64>,
+    /// Fixed background item distribution `theta_B` (empirical item
+    /// frequencies of the training cuboid).
+    background: Vec<f64>,
+    /// Background mixing weight `lambda_B` (0 = the paper's plain TCAM).
+    background_weight: f64,
+}
+
+/// Per-shard sufficient statistics (unnormalized M-step numerators).
+struct Stats {
+    theta_num: Matrix,
+    phi_item_num: Matrix,
+    theta_t_num: Matrix,
+    lambda_num: Vec<f64>,
+    mass: Vec<f64>,
+    log_likelihood: f64,
+}
+
+impl Stats {
+    fn zeros(n: usize, t: usize, v: usize, k1: usize) -> Self {
+        Stats {
+            theta_num: Matrix::zeros(n, k1),
+            phi_item_num: Matrix::zeros(v, k1),
+            theta_t_num: Matrix::zeros(t, v),
+            lambda_num: vec![0.0; n],
+            mass: vec![0.0; n],
+            log_likelihood: 0.0,
+        }
+    }
+
+    fn merge(mut acc: Stats, other: Stats) -> Stats {
+        acc.theta_num.add_assign(&other.theta_num).expect("equal shapes");
+        acc.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
+        acc.theta_t_num.add_assign(&other.theta_t_num).expect("equal shapes");
+        for (a, b) in acc.lambda_num.iter_mut().zip(other.lambda_num.iter()) {
+            *a += b;
+        }
+        for (a, b) in acc.mass.iter_mut().zip(other.mass.iter()) {
+            *a += b;
+        }
+        acc.log_likelihood += other.log_likelihood;
+        acc
+    }
+}
+
+impl ItcamModel {
+    /// Fits ITCAM to a rating cuboid with EM.
+    ///
+    /// Fitting a cuboid pre-transformed by
+    /// [`tcam_data::ItemWeighting::apply`] yields the paper's W-ITCAM.
+    pub fn fit(cuboid: &RatingCuboid, config: &FitConfig) -> Result<FitResult<Self>> {
+        config.validate()?;
+        if cuboid.nnz() == 0 {
+            return Err(ModelError::BadData("cuboid has no ratings"));
+        }
+        let n = cuboid.num_users();
+        let t_dim = cuboid.num_times();
+        let v_dim = cuboid.num_items();
+        let k1 = config.num_user_topics;
+
+        let mut rng = Pcg64::new(config.seed);
+        let mut theta = Matrix::zeros(n, k1);
+        for u in 0..n {
+            theta.row_mut(u).copy_from_slice(&random_distribution(k1, &mut rng));
+        }
+        // Work layout: item-major `phi_item[v][z]` so the per-entry inner
+        // loop reads one contiguous row per rating.
+        let mut phi_item = Matrix::zeros(v_dim, k1);
+        {
+            // Initialize column-normalized (each topic a distribution
+            // over items).
+            let mut col_sums = vec![0.0; k1];
+            for v in 0..v_dim {
+                let row = phi_item.row_mut(v);
+                for (z, cell) in row.iter_mut().enumerate() {
+                    *cell = 0.5 + rng.next_f64();
+                    col_sums[z] += *cell;
+                }
+            }
+            for v in 0..v_dim {
+                for (z, cell) in phi_item.row_mut(v).iter_mut().enumerate() {
+                    *cell /= col_sums[z];
+                }
+            }
+        }
+        let mut theta_t = Matrix::zeros(t_dim, v_dim);
+        for t in 0..t_dim {
+            theta_t.row_mut(t).copy_from_slice(&random_distribution(v_dim, &mut rng));
+        }
+        let mut lambda = vec![config.initial_lambda; n];
+        let lam_b = config.background_weight;
+        let mut background = vec![0.0; v_dim];
+        for r in cuboid.entries() {
+            background[r.item.index()] += r.value;
+        }
+        tcam_math::vecops::normalize_in_place(&mut background);
+
+        let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
+        let mut converged = false;
+
+        for iteration in 0..config.max_iterations {
+            let stats = {
+                let theta = &theta;
+                let phi_item = &phi_item;
+                let theta_t = &theta_t;
+                let lambda = &lambda;
+                let background = &background;
+                run_sharded(cuboid, config.num_threads, |users| {
+                    let mut stats = Stats::zeros(n, t_dim, v_dim, k1);
+                    for u in users {
+                        e_step_user(
+                            cuboid,
+                            UserId::from(u),
+                            theta,
+                            phi_item,
+                            theta_t,
+                            lambda,
+                            background,
+                            lam_b,
+                            &mut stats,
+                        );
+                    }
+                    stats
+                })
+                .into_iter()
+                .reduce(Stats::merge)
+                .expect("at least one shard")
+            };
+
+            trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
+            if iteration > 0 {
+                let prev = trace[iteration - 1].log_likelihood;
+                let rel = (stats.log_likelihood - prev).abs()
+                    / prev.abs().max(f64::MIN_POSITIVE);
+                if config.tolerance > 0.0 && rel < config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+
+            m_step(
+                config.lambda_shrinkage,
+                &stats,
+                &mut theta,
+                &mut phi_item,
+                &mut theta_t,
+                &mut lambda,
+            );
+        }
+
+        // Convert the work layout to the row-major topic layout used by
+        // scoring and inspection.
+        let phi = transpose_normalized(&phi_item, k1, v_dim);
+        Ok(FitResult {
+            model: ItcamModel {
+                theta,
+                phi,
+                theta_t,
+                lambda,
+                background,
+                background_weight: lam_b,
+            },
+            trace,
+            converged,
+        })
+    }
+
+    /// Number of users `N`.
+    pub fn num_users(&self) -> usize {
+        self.theta.rows()
+    }
+
+    /// Number of user-oriented topics `K1`.
+    pub fn num_user_topics(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Number of time intervals `T`.
+    pub fn num_times(&self) -> usize {
+        self.theta_t.rows()
+    }
+
+    /// Number of items `V`.
+    pub fn num_items(&self) -> usize {
+        self.phi.cols()
+    }
+
+    /// The mixing weight `lambda_u` of one user.
+    pub fn lambda(&self, user: UserId) -> f64 {
+        self.lambda[user.index()]
+    }
+
+    /// All mixing weights.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// The fixed background item distribution `theta_B`.
+    pub fn background(&self) -> &[f64] {
+        &self.background
+    }
+
+    /// The background mixing weight `lambda_B`.
+    pub fn background_weight(&self) -> f64 {
+        self.background_weight
+    }
+
+    /// `P(z | theta_u)` — the user's interest distribution.
+    pub fn user_interest(&self, user: UserId) -> &[f64] {
+        self.theta.row(user.index())
+    }
+
+    /// `P(v | phi_z)` — a user-oriented topic's item distribution.
+    pub fn user_topic(&self, z: usize) -> &[f64] {
+        self.phi.row(z)
+    }
+
+    /// `P(v | theta'_t)` — the temporal context of interval `t`.
+    pub fn temporal_context(&self, time: TimeId) -> &[f64] {
+        self.theta_t.row(time.index())
+    }
+
+    /// The rating likelihood `P(v | u, t)` of Eq. 1.
+    pub fn predict(&self, user: UserId, time: TimeId, item: usize) -> f64 {
+        let u = user.index();
+        let lam = self.lambda[u];
+        let theta_u = self.theta.row(u);
+        let interest: f64 = (0..self.num_user_topics())
+            .map(|z| theta_u[z] * self.phi.get(z, item))
+            .sum();
+        let lam_b = self.background_weight;
+        lam_b * self.background[item]
+            + (1.0 - lam_b)
+                * (lam * interest + (1.0 - lam) * self.theta_t.get(time.index(), item))
+    }
+
+    /// Fills `scores[v] = P(v | u, t)` for all items (brute-force scan).
+    pub fn predict_all(&self, user: UserId, time: TimeId, scores: &mut [f64]) {
+        assert_eq!(scores.len(), self.num_items());
+        let u = user.index();
+        let lam = self.lambda[u];
+        let theta_u = self.theta.row(u);
+        scores.fill(0.0);
+        for z in 0..self.num_user_topics() {
+            let w = lam * theta_u[z];
+            if w == 0.0 {
+                continue;
+            }
+            tcam_math::vecops::axpy(scores, self.phi.row(z), w);
+        }
+        tcam_math::vecops::axpy(scores, self.theta_t.row(time.index()), 1.0 - lam);
+        let lam_b = self.background_weight;
+        if lam_b > 0.0 {
+            for s in scores.iter_mut() {
+                *s *= 1.0 - lam_b;
+            }
+            tcam_math::vecops::axpy(scores, &self.background, lam_b);
+        }
+    }
+
+    /// Data log-likelihood of an arbitrary cuboid under this model
+    /// (e.g., held-out perplexity). Cells the model assigns zero mass
+    /// are floored at `f64::MIN_POSITIVE`.
+    pub fn log_likelihood(&self, cuboid: &RatingCuboid) -> f64 {
+        cuboid
+            .entries()
+            .iter()
+            .map(|r| {
+                let p = self.predict(r.user, r.time, r.item.index());
+                r.value * p.max(f64::MIN_POSITIVE).ln()
+            })
+            .sum()
+    }
+}
+
+/// E-step contributions of one user's entries (Eqs. 4–6).
+#[allow(clippy::too_many_arguments)]
+fn e_step_user(
+    cuboid: &RatingCuboid,
+    user: UserId,
+    theta: &Matrix,
+    phi_item: &Matrix,
+    theta_t: &Matrix,
+    lambda: &[f64],
+    background: &[f64],
+    lam_b: f64,
+    stats: &mut Stats,
+) {
+    let u = user.index();
+    let lam = lambda[u];
+    let theta_u = theta.row(u);
+    let k1 = theta.cols();
+    let mut a = vec![0.0; k1];
+    for r in cuboid.user_entries(user) {
+        let v = r.item.index();
+        let t = r.time.index();
+        let c = r.value;
+        let phi_v = phi_item.row(v);
+        let mut a_sum = 0.0;
+        for z in 0..k1 {
+            let val = theta_u[z] * phi_v[z];
+            a[z] = val;
+            a_sum += val;
+        }
+        let p1 = (1.0 - lam_b) * lam * a_sum;
+        let p0 = (1.0 - lam_b) * (1.0 - lam) * theta_t.get(t, v);
+        let denom = lam_b * background[v] + p1 + p0;
+        if denom <= 0.0 {
+            // The model assigns this cell zero mass (can only happen
+            // with degenerate inputs); it contributes nothing.
+            stats.log_likelihood += c * f64::MIN_POSITIVE.ln();
+            continue;
+        }
+        stats.log_likelihood += c * denom.ln();
+        let post1 = p1 / denom;
+        let post0 = p0 / denom;
+        if a_sum > 0.0 {
+            let scale = c * post1 / a_sum;
+            let theta_row = stats.theta_num.row_mut(u);
+            for z in 0..k1 {
+                theta_row[z] += scale * a[z];
+            }
+            let phi_row = stats.phi_item_num.row_mut(v);
+            for z in 0..k1 {
+                phi_row[z] += scale * a[z];
+            }
+        }
+        stats.theta_t_num.add_at(t, v, c * post0);
+        stats.lambda_num[u] += c * post1;
+        stats.mass[u] += c * (post1 + post0);
+    }
+}
+
+/// M-step: normalize sufficient statistics into parameters (Eqs. 8–11).
+fn m_step(
+    lambda_shrinkage: f64,
+    stats: &Stats,
+    theta: &mut Matrix,
+    phi_item: &mut Matrix,
+    theta_t: &mut Matrix,
+    lambda: &mut [f64],
+) {
+    let n = theta.rows();
+    let k1 = theta.cols();
+    let v_dim = phi_item.rows();
+    let t_dim = theta_t.rows();
+
+    // theta_u (Eq. 8): normalize each user's topic numerators.
+    for u in 0..n {
+        let src = stats.theta_num.row(u);
+        let dst = theta.row_mut(u);
+        dst.copy_from_slice(src);
+        tcam_math::vecops::normalize_in_place(dst);
+    }
+
+    // phi_z (Eq. 9): column-normalize the item-major numerators.
+    let mut col_sums = vec![0.0; k1];
+    for v in 0..v_dim {
+        for (z, &val) in stats.phi_item_num.row(v).iter().enumerate() {
+            col_sums[z] += val;
+        }
+    }
+    for v in 0..v_dim {
+        let src = stats.phi_item_num.row(v);
+        let dst = phi_item.row_mut(v);
+        for z in 0..k1 {
+            dst[z] = if col_sums[z] > 0.0 { src[z] / col_sums[z] } else { 1.0 / v_dim as f64 };
+        }
+    }
+
+    // theta'_t (Eq. 10): normalize each interval over items.
+    for t in 0..t_dim {
+        let src = stats.theta_t_num.row(t);
+        let dst = theta_t.row_mut(t);
+        dst.copy_from_slice(src);
+        tcam_math::vecops::normalize_in_place(dst);
+    }
+
+    crate::config::update_lambda(lambda_shrinkage, &stats.lambda_num, &stats.mass, lambda);
+}
+
+/// Converts item-major `phi_item[v][z]` (already column-normalized) into
+/// topic-major `phi[z][v]`.
+fn transpose_normalized(phi_item: &Matrix, k1: usize, v_dim: usize) -> Matrix {
+    let mut phi = Matrix::zeros(k1, v_dim);
+    for v in 0..v_dim {
+        let row = phi_item.row(v);
+        for z in 0..k1 {
+            phi.set(z, v, row[z]);
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::synth;
+
+    fn fit_tiny(seed: u64, iters: usize) -> (tcam_data::SynthDataset, FitResult<ItcamModel>) {
+        let data = synth::SynthDataset::generate(synth::tiny(seed)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_iterations(iters)
+            .with_seed(seed);
+        let result = ItcamModel::fit(&data.cuboid, &config).unwrap();
+        (data, result)
+    }
+
+    #[test]
+    fn rejects_empty_cuboid() {
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
+        assert!(matches!(
+            ItcamModel::fit(&c, &FitConfig::default()),
+            Err(ModelError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn log_likelihood_non_decreasing() {
+        let (_, result) = fit_tiny(1, 30);
+        for w in result.trace.windows(2) {
+            assert!(
+                w[1].log_likelihood >= w[0].log_likelihood - 1e-8,
+                "EM log-likelihood decreased: {} -> {}",
+                w[0].log_likelihood,
+                w[1].log_likelihood
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_are_distributions() {
+        let (data, result) = fit_tiny(2, 10);
+        let m = &result.model;
+        for u in 0..m.num_users() {
+            let uid = UserId::from(u);
+            assert!(
+                tcam_math::vecops::is_distribution(m.user_interest(uid), 1e-8),
+                "theta_u not normalized"
+            );
+            let lam = m.lambda(uid);
+            assert!((0.0..=1.0).contains(&lam), "lambda out of range: {lam}");
+        }
+        for z in 0..m.num_user_topics() {
+            assert!(tcam_math::vecops::is_distribution(m.user_topic(z), 1e-8));
+        }
+        for t in 0..m.num_times() {
+            assert!(tcam_math::vecops::is_distribution(
+                m.temporal_context(TimeId::from(t)),
+                1e-8
+            ));
+        }
+        drop(data);
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let (_, result) = fit_tiny(3, 5);
+        let m = &result.model;
+        let mut scores = vec![0.0; m.num_items()];
+        let u = UserId(1);
+        let t = TimeId(2);
+        m.predict_all(u, t, &mut scores);
+        for (v, &s) in scores.iter().enumerate() {
+            assert!((s - m.predict(u, t, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predict_is_a_distribution_over_items() {
+        let (_, result) = fit_tiny(4, 5);
+        let m = &result.model;
+        let mut scores = vec![0.0; m.num_items()];
+        m.predict_all(UserId(0), TimeId(0), &mut scores);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial() {
+        let data = synth::SynthDataset::generate(synth::tiny(5)).unwrap();
+        let base = FitConfig::default().with_user_topics(4).with_iterations(5).with_seed(9);
+        let serial = ItcamModel::fit(&data.cuboid, &base).unwrap();
+        let parallel =
+            ItcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
+        // Same init + deterministic merge order => identical trajectories
+        // up to floating addition order; allow a tiny tolerance.
+        let a = serial.final_log_likelihood();
+        let b = parallel.final_log_likelihood();
+        assert!((a - b).abs() < 1e-6 * a.abs(), "serial {a} vs parallel {b}");
+        assert!(serial
+            .model
+            .lambdas()
+            .iter()
+            .zip(parallel.model.lambdas())
+            .all(|(x, y)| (x - y).abs() < 1e-8));
+    }
+
+    #[test]
+    fn converges_with_tolerance() {
+        let data = synth::SynthDataset::generate(synth::tiny(6)).unwrap();
+        let config = FitConfig {
+            num_user_topics: 3,
+            tolerance: 1e-3,
+            max_iterations: 200,
+            ..FitConfig::default()
+        };
+        let result = ItcamModel::fit(&data.cuboid, &config).unwrap();
+        assert!(result.converged, "should converge well before 200 iterations");
+        assert!(result.iterations() < 200);
+    }
+
+    #[test]
+    fn heldout_likelihood_finite() {
+        let (data, result) = fit_tiny(7, 10);
+        let ll = result.model.log_likelihood(&data.cuboid);
+        assert!(ll.is_finite());
+        assert!(ll < 0.0);
+    }
+}

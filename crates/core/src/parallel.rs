@@ -1,0 +1,153 @@
+//! Parallel E-step scaffolding.
+//!
+//! The E-step factorizes over ratings, so we shard *users* (whose entry
+//! runs are contiguous in the cuboid) across scoped threads and merge
+//! per-thread sufficient statistics. Sharding is balanced by entry
+//! count, not user count — social-media activity is heavy-tailed and a
+//! per-user split would leave one thread holding the whales.
+
+use std::ops::Range;
+use tcam_data::{RatingCuboid, UserId};
+
+/// Splits `0..num_users` into at most `num_threads` contiguous ranges
+/// with approximately equal total entry counts.
+pub fn balanced_user_shards(cuboid: &RatingCuboid, num_threads: usize) -> Vec<Range<usize>> {
+    let num_users = cuboid.num_users();
+    let total = cuboid.nnz();
+    let num_threads = num_threads.max(1);
+    if num_threads == 1 || total == 0 || num_users == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one shard covering all users
+        return vec![0..num_users];
+    }
+    let target = total.div_ceil(num_threads);
+    let mut shards = Vec::with_capacity(num_threads);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for u in 0..num_users {
+        acc += cuboid.user_nnz(UserId::from(u));
+        if acc >= target && shards.len() + 1 < num_threads {
+            shards.push(start..u + 1);
+            start = u + 1;
+            acc = 0;
+        }
+    }
+    if start < num_users || shards.is_empty() {
+        shards.push(start..num_users);
+    }
+    shards
+}
+
+/// Runs `work` once per shard on scoped threads and collects the results
+/// in shard order. With a single shard the work runs on the caller's
+/// thread (no spawn overhead for the serial configuration).
+pub fn run_sharded<S, F>(cuboid: &RatingCuboid, num_threads: usize, work: F) -> Vec<S>
+where
+    S: Send,
+    F: Fn(Range<usize>) -> S + Sync,
+{
+    let shards = balanced_user_shards(cuboid, num_threads);
+    if shards.len() == 1 {
+        let range = shards.into_iter().next().expect("one shard");
+        return vec![work(range)];
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|range| {
+                let work = &work;
+                scope.spawn(move |_| work(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("E-step worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::{ItemId, Rating, TimeId};
+
+    fn cuboid_with_counts(counts: &[usize]) -> RatingCuboid {
+        let mut ratings = Vec::new();
+        for (u, &n) in counts.iter().enumerate() {
+            for i in 0..n {
+                ratings.push(Rating {
+                    user: UserId::from(u),
+                    time: TimeId(0),
+                    item: ItemId::from(i),
+                    value: 1.0,
+                });
+            }
+        }
+        let items = counts.iter().copied().max().unwrap_or(1).max(1);
+        RatingCuboid::from_ratings(counts.len(), 1, items, ratings).unwrap()
+    }
+
+    #[test]
+    fn shards_cover_all_users_in_order() {
+        let c = cuboid_with_counts(&[5, 1, 1, 1, 8, 2, 2]);
+        for threads in 1..=5 {
+            let shards = balanced_user_shards(&c, threads);
+            assert!(shards.len() <= threads);
+            assert_eq!(shards.first().unwrap().start, 0);
+            assert_eq!(shards.last().unwrap().end, 7);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_balance_heavy_tail() {
+        // One whale user with 90 entries and nine minnows with 1 each.
+        let mut counts = vec![90usize];
+        counts.extend(std::iter::repeat(1).take(9));
+        let c = cuboid_with_counts(&counts);
+        let shards = balanced_user_shards(&c, 2);
+        assert_eq!(shards.len(), 2);
+        // The whale must sit alone in the first shard.
+        assert_eq!(shards[0], 0..1);
+    }
+
+    #[test]
+    fn single_thread_single_shard() {
+        let c = cuboid_with_counts(&[1, 2, 3]);
+        assert_eq!(balanced_user_shards(&c, 1), vec![0..3]);
+    }
+
+    #[test]
+    fn run_sharded_collects_in_order() {
+        let c = cuboid_with_counts(&[2, 2, 2, 2]);
+        let results = run_sharded(&c, 4, |range| range.start);
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(results, sorted, "results arrive in shard order");
+    }
+
+    #[test]
+    fn run_sharded_sums_match_serial() {
+        let c = cuboid_with_counts(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let serial: usize = run_sharded(&c, 1, |range| {
+            range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>()
+        })
+        .into_iter()
+        .sum();
+        let parallel: usize = run_sharded(&c, 3, |range| {
+            range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>()
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, c.nnz());
+    }
+
+    #[test]
+    fn empty_cuboid_one_shard() {
+        let c = RatingCuboid::from_ratings(3, 1, 1, vec![]).unwrap();
+        assert_eq!(balanced_user_shards(&c, 4), vec![0..3]);
+    }
+}

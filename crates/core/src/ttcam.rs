@@ -1,0 +1,637 @@
+//! Topic-based TCAM (Section 3.2.2 of the paper).
+//!
+//! TTCAM refines ITCAM's temporal context: instead of a flat multinomial
+//! over items per interval, each interval `t` has a distribution
+//! `theta'_t` over `K2` shared **time-oriented topics** `phi'_x`
+//! (Eq. 12). This ties statistical strength across intervals — an event
+//! spanning several intervals is one topic, not several independent
+//! item distributions — and is the variant the paper finds consistently
+//! stronger (Section 5.3.2, observation 2).
+//!
+//! EM updates are Eqs. 13–16 for the temporal side plus the shared
+//! Eqs. 8, 9, 11 for the interest side and mixing weights.
+
+use crate::config::{random_distribution, FitConfig, FitResult, FitTrace};
+use crate::parallel::run_sharded;
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+use tcam_data::{RatingCuboid, TimeId, UserId};
+use tcam_math::{Matrix, Pcg64};
+
+/// A fitted topic-based TCAM model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TtcamModel {
+    /// `theta[u][z] = P(z | theta_u)`, shape `N x K1`.
+    theta: Matrix,
+    /// `phi[z][v] = P(v | phi_z)`, shape `K1 x V`.
+    phi: Matrix,
+    /// `theta_t[t][x] = P(x | theta'_t)`, shape `T x K2`.
+    theta_t: Matrix,
+    /// `phi_t[x][v] = P(v | phi'_x)`, shape `K2 x V`.
+    phi_t: Matrix,
+    /// Per-user mixing weight `lambda_u` (Eq. 11).
+    lambda: Vec<f64>,
+    /// Fixed background item distribution `theta_B` (empirical item
+    /// frequencies of the training cuboid).
+    background: Vec<f64>,
+    /// Background mixing weight `lambda_B` (0 = the paper's plain TCAM).
+    background_weight: f64,
+}
+
+/// Per-shard sufficient statistics.
+struct Stats {
+    theta_num: Matrix,
+    phi_item_num: Matrix,
+    theta_t_num: Matrix,
+    phi_t_item_num: Matrix,
+    lambda_num: Vec<f64>,
+    mass: Vec<f64>,
+    log_likelihood: f64,
+}
+
+impl Stats {
+    fn zeros(n: usize, t: usize, v: usize, k1: usize, k2: usize) -> Self {
+        Stats {
+            theta_num: Matrix::zeros(n, k1),
+            phi_item_num: Matrix::zeros(v, k1),
+            theta_t_num: Matrix::zeros(t, k2),
+            phi_t_item_num: Matrix::zeros(v, k2),
+            lambda_num: vec![0.0; n],
+            mass: vec![0.0; n],
+            log_likelihood: 0.0,
+        }
+    }
+
+    fn merge(mut acc: Stats, other: Stats) -> Stats {
+        acc.theta_num.add_assign(&other.theta_num).expect("equal shapes");
+        acc.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
+        acc.theta_t_num.add_assign(&other.theta_t_num).expect("equal shapes");
+        acc.phi_t_item_num.add_assign(&other.phi_t_item_num).expect("equal shapes");
+        for (a, b) in acc.lambda_num.iter_mut().zip(other.lambda_num.iter()) {
+            *a += b;
+        }
+        for (a, b) in acc.mass.iter_mut().zip(other.mass.iter()) {
+            *a += b;
+        }
+        acc.log_likelihood += other.log_likelihood;
+        acc
+    }
+}
+
+impl TtcamModel {
+    /// Fits TTCAM to a rating cuboid with EM.
+    ///
+    /// Fitting a cuboid pre-transformed by
+    /// [`tcam_data::ItemWeighting::apply`] yields the paper's W-TTCAM.
+    pub fn fit(cuboid: &RatingCuboid, config: &FitConfig) -> Result<FitResult<Self>> {
+        config.validate()?;
+        if cuboid.nnz() == 0 {
+            return Err(ModelError::BadData("cuboid has no ratings"));
+        }
+        let n = cuboid.num_users();
+        let t_dim = cuboid.num_times();
+        let v_dim = cuboid.num_items();
+        let k1 = config.num_user_topics;
+        let k2 = config.num_time_topics;
+
+        let mut rng = Pcg64::new(config.seed);
+        let mut theta = Matrix::zeros(n, k1);
+        for u in 0..n {
+            theta.row_mut(u).copy_from_slice(&random_distribution(k1, &mut rng));
+        }
+        let mut phi_item = init_item_major(v_dim, k1, &mut rng);
+        let mut theta_t = Matrix::zeros(t_dim, k2);
+        for t in 0..t_dim {
+            theta_t.row_mut(t).copy_from_slice(&random_distribution(k2, &mut rng));
+        }
+        let mut phi_t_item = init_item_major(v_dim, k2, &mut rng);
+        let mut lambda = vec![config.initial_lambda; n];
+        let lam_b = config.background_weight;
+        let mut background = vec![0.0; v_dim];
+        for r in cuboid.entries() {
+            background[r.item.index()] += r.value;
+        }
+        tcam_math::vecops::normalize_in_place(&mut background);
+
+        let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
+        let mut converged = false;
+
+        for iteration in 0..config.max_iterations {
+            let stats = {
+                let theta = &theta;
+                let phi_item = &phi_item;
+                let theta_t = &theta_t;
+                let phi_t_item = &phi_t_item;
+                let lambda = &lambda;
+                let background = &background;
+                run_sharded(cuboid, config.num_threads, |users| {
+                    let mut stats = Stats::zeros(n, t_dim, v_dim, k1, k2);
+                    for u in users {
+                        e_step_user(
+                            cuboid,
+                            UserId::from(u),
+                            theta,
+                            phi_item,
+                            theta_t,
+                            phi_t_item,
+                            lambda,
+                            background,
+                            lam_b,
+                            &mut stats,
+                        );
+                    }
+                    stats
+                })
+                .into_iter()
+                .reduce(Stats::merge)
+                .expect("at least one shard")
+            };
+
+            trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
+            if iteration > 0 {
+                let prev = trace[iteration - 1].log_likelihood;
+                let rel = (stats.log_likelihood - prev).abs()
+                    / prev.abs().max(f64::MIN_POSITIVE);
+                if config.tolerance > 0.0 && rel < config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+
+            m_step(
+                config.lambda_shrinkage,
+                &stats,
+                &mut theta,
+                &mut phi_item,
+                &mut theta_t,
+                &mut phi_t_item,
+                &mut lambda,
+            );
+        }
+
+        let phi = transpose_item_major(&phi_item, k1, v_dim);
+        let phi_t = transpose_item_major(&phi_t_item, k2, v_dim);
+        Ok(FitResult {
+            model: TtcamModel {
+                theta,
+                phi,
+                theta_t,
+                phi_t,
+                lambda,
+                background,
+                background_weight: lam_b,
+            },
+            trace,
+            converged,
+        })
+    }
+
+    /// Number of users `N`.
+    pub fn num_users(&self) -> usize {
+        self.theta.rows()
+    }
+
+    /// Number of user-oriented topics `K1`.
+    pub fn num_user_topics(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Number of time-oriented topics `K2`.
+    pub fn num_time_topics(&self) -> usize {
+        self.phi_t.rows()
+    }
+
+    /// Number of time intervals `T`.
+    pub fn num_times(&self) -> usize {
+        self.theta_t.rows()
+    }
+
+    /// Number of items `V`.
+    pub fn num_items(&self) -> usize {
+        self.phi.cols()
+    }
+
+    /// The mixing weight `lambda_u` of one user.
+    pub fn lambda(&self, user: UserId) -> f64 {
+        self.lambda[user.index()]
+    }
+
+    /// All mixing weights.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// The fixed background item distribution `theta_B`.
+    pub fn background(&self) -> &[f64] {
+        &self.background
+    }
+
+    /// The background mixing weight `lambda_B`.
+    pub fn background_weight(&self) -> f64 {
+        self.background_weight
+    }
+
+    /// `P(z | theta_u)` — the user's interest distribution.
+    pub fn user_interest(&self, user: UserId) -> &[f64] {
+        self.theta.row(user.index())
+    }
+
+    /// `P(v | phi_z)` — a user-oriented topic's item distribution.
+    pub fn user_topic(&self, z: usize) -> &[f64] {
+        self.phi.row(z)
+    }
+
+    /// `P(x | theta'_t)` — the temporal context over time-oriented topics.
+    pub fn temporal_context(&self, time: TimeId) -> &[f64] {
+        self.theta_t.row(time.index())
+    }
+
+    /// `P(v | phi'_x)` — a time-oriented topic's item distribution.
+    pub fn time_topic(&self, x: usize) -> &[f64] {
+        self.phi_t.row(x)
+    }
+
+    /// Temporal popularity profile of time-oriented topic `x`: the mass
+    /// `P(x | theta'_t)` across intervals, peak-normalized. This is the
+    /// curve plotted in the paper's Figure 2 for a bursty topic.
+    pub fn time_topic_profile(&self, x: usize) -> Vec<f64> {
+        let raw: Vec<f64> = (0..self.num_times()).map(|t| self.theta_t.get(t, x)).collect();
+        let peak = raw.iter().cloned().fold(0.0, f64::max);
+        if peak > 0.0 {
+            raw.iter().map(|v| v / peak).collect()
+        } else {
+            raw
+        }
+    }
+
+    /// The rating likelihood `P(v | u, t)` of Eq. 1 with Eq. 12.
+    pub fn predict(&self, user: UserId, time: TimeId, item: usize) -> f64 {
+        let u = user.index();
+        let t = time.index();
+        let lam = self.lambda[u];
+        let theta_u = self.theta.row(u);
+        let interest: f64 = (0..self.num_user_topics())
+            .map(|z| theta_u[z] * self.phi.get(z, item))
+            .sum();
+        let theta_t = self.theta_t.row(t);
+        let context: f64 = (0..self.num_time_topics())
+            .map(|x| theta_t[x] * self.phi_t.get(x, item))
+            .sum();
+        let lam_b = self.background_weight;
+        lam_b * self.background[item]
+            + (1.0 - lam_b) * (lam * interest + (1.0 - lam) * context)
+    }
+
+    /// Fills `scores[v] = P(v | u, t)` for all items (brute-force scan).
+    pub fn predict_all(&self, user: UserId, time: TimeId, scores: &mut [f64]) {
+        assert_eq!(scores.len(), self.num_items());
+        let u = user.index();
+        let t = time.index();
+        let lam = self.lambda[u];
+        scores.fill(0.0);
+        let theta_u = self.theta.row(u);
+        for z in 0..self.num_user_topics() {
+            let w = lam * theta_u[z];
+            if w == 0.0 {
+                continue;
+            }
+            tcam_math::vecops::axpy(scores, self.phi.row(z), w);
+        }
+        let lam_b = self.background_weight;
+        let theta_t = self.theta_t.row(t);
+        for x in 0..self.num_time_topics() {
+            let w = (1.0 - lam) * theta_t[x];
+            if w == 0.0 {
+                continue;
+            }
+            tcam_math::vecops::axpy(scores, self.phi_t.row(x), w);
+        }
+        if lam_b > 0.0 {
+            for s in scores.iter_mut() {
+                *s *= 1.0 - lam_b;
+            }
+            tcam_math::vecops::axpy(scores, &self.background, lam_b);
+        }
+    }
+
+    /// Data log-likelihood of an arbitrary cuboid under this model.
+    pub fn log_likelihood(&self, cuboid: &RatingCuboid) -> f64 {
+        cuboid
+            .entries()
+            .iter()
+            .map(|r| {
+                let p = self.predict(r.user, r.time, r.item.index());
+                r.value * p.max(f64::MIN_POSITIVE).ln()
+            })
+            .sum()
+    }
+}
+
+/// Random item-major `M[v][k]`, column-normalized so each of the `k`
+/// topics is a distribution over items.
+fn init_item_major(v_dim: usize, k: usize, rng: &mut Pcg64) -> Matrix {
+    let mut m = Matrix::zeros(v_dim, k);
+    let mut col_sums = vec![0.0; k];
+    for v in 0..v_dim {
+        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
+            *cell = 0.5 + rng.next_f64();
+            col_sums[z] += *cell;
+        }
+    }
+    for v in 0..v_dim {
+        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
+            *cell /= col_sums[z];
+        }
+    }
+    m
+}
+
+/// Transposes item-major `M[v][k]` into topic-major `M[k][v]`.
+fn transpose_item_major(m: &Matrix, k: usize, v_dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(k, v_dim);
+    for v in 0..v_dim {
+        let row = m.row(v);
+        for z in 0..k {
+            out.set(z, v, row[z]);
+        }
+    }
+    out
+}
+
+/// E-step contributions of one user's entries (Eqs. 4, 5, 13, 14).
+#[allow(clippy::too_many_arguments)]
+fn e_step_user(
+    cuboid: &RatingCuboid,
+    user: UserId,
+    theta: &Matrix,
+    phi_item: &Matrix,
+    theta_t: &Matrix,
+    phi_t_item: &Matrix,
+    lambda: &[f64],
+    background: &[f64],
+    lam_b: f64,
+    stats: &mut Stats,
+) {
+    let u = user.index();
+    let lam = lambda[u];
+    let theta_u = theta.row(u);
+    let k1 = theta.cols();
+    let k2 = theta_t.cols();
+    let mut a = vec![0.0; k1];
+    let mut b = vec![0.0; k2];
+    for r in cuboid.user_entries(user) {
+        let v = r.item.index();
+        let t = r.time.index();
+        let c = r.value;
+
+        let phi_v = phi_item.row(v);
+        let mut a_sum = 0.0;
+        for z in 0..k1 {
+            let val = theta_u[z] * phi_v[z];
+            a[z] = val;
+            a_sum += val;
+        }
+
+        let theta_t_row = theta_t.row(t);
+        let phi_t_v = phi_t_item.row(v);
+        let mut b_sum = 0.0;
+        for x in 0..k2 {
+            let val = theta_t_row[x] * phi_t_v[x];
+            b[x] = val;
+            b_sum += val;
+        }
+
+        let p1 = (1.0 - lam_b) * lam * a_sum;
+        let p0 = (1.0 - lam_b) * (1.0 - lam) * b_sum;
+        let denom = lam_b * background[v] + p1 + p0;
+        if denom <= 0.0 {
+            stats.log_likelihood += c * f64::MIN_POSITIVE.ln();
+            continue;
+        }
+        stats.log_likelihood += c * denom.ln();
+        let post1 = p1 / denom;
+        let post0 = p0 / denom;
+
+        if a_sum > 0.0 {
+            let scale = c * post1 / a_sum;
+            let theta_row = stats.theta_num.row_mut(u);
+            for z in 0..k1 {
+                theta_row[z] += scale * a[z];
+            }
+            let phi_row = stats.phi_item_num.row_mut(v);
+            for z in 0..k1 {
+                phi_row[z] += scale * a[z];
+            }
+        }
+        if b_sum > 0.0 {
+            let scale = c * post0 / b_sum;
+            let tt_row = stats.theta_t_num.row_mut(t);
+            for x in 0..k2 {
+                tt_row[x] += scale * b[x];
+            }
+            let pt_row = stats.phi_t_item_num.row_mut(v);
+            for x in 0..k2 {
+                pt_row[x] += scale * b[x];
+            }
+        }
+        stats.lambda_num[u] += c * post1;
+        stats.mass[u] += c * (post1 + post0);
+    }
+}
+
+/// M-step (Eqs. 8, 9, 11, 15, 16).
+fn m_step(
+    lambda_shrinkage: f64,
+    stats: &Stats,
+    theta: &mut Matrix,
+    phi_item: &mut Matrix,
+    theta_t: &mut Matrix,
+    phi_t_item: &mut Matrix,
+    lambda: &mut [f64],
+) {
+    let n = theta.rows();
+    let v_dim = phi_item.rows();
+    let t_dim = theta_t.rows();
+
+    for u in 0..n {
+        let src = stats.theta_num.row(u);
+        let dst = theta.row_mut(u);
+        dst.copy_from_slice(src);
+        tcam_math::vecops::normalize_in_place(dst);
+    }
+
+    column_normalize(&stats.phi_item_num, phi_item, v_dim);
+
+    for t in 0..t_dim {
+        let src = stats.theta_t_num.row(t);
+        let dst = theta_t.row_mut(t);
+        dst.copy_from_slice(src);
+        tcam_math::vecops::normalize_in_place(dst);
+    }
+
+    column_normalize(&stats.phi_t_item_num, phi_t_item, v_dim);
+
+    crate::config::update_lambda(lambda_shrinkage, &stats.lambda_num, &stats.mass, lambda);
+}
+
+/// Normalizes each column of item-major numerators into `dst` so every
+/// topic is a distribution over items (uniform fallback for empty ones).
+fn column_normalize(src: &Matrix, dst: &mut Matrix, v_dim: usize) {
+    let k = src.cols();
+    let mut col_sums = vec![0.0; k];
+    for v in 0..v_dim {
+        for (z, &val) in src.row(v).iter().enumerate() {
+            col_sums[z] += val;
+        }
+    }
+    for v in 0..v_dim {
+        let src_row = src.row(v);
+        let dst_row = dst.row_mut(v);
+        for z in 0..k {
+            dst_row[z] =
+                if col_sums[z] > 0.0 { src_row[z] / col_sums[z] } else { 1.0 / v_dim as f64 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::synth;
+
+    fn fit_tiny(seed: u64, iters: usize) -> (tcam_data::SynthDataset, FitResult<TtcamModel>) {
+        let data = synth::SynthDataset::generate(synth::tiny(seed)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(iters)
+            .with_seed(seed);
+        let result = TtcamModel::fit(&data.cuboid, &config).unwrap();
+        (data, result)
+    }
+
+    #[test]
+    fn rejects_empty_cuboid() {
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
+        assert!(TtcamModel::fit(&c, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn log_likelihood_non_decreasing() {
+        let (_, result) = fit_tiny(1, 30);
+        for w in result.trace.windows(2) {
+            assert!(
+                w[1].log_likelihood >= w[0].log_likelihood - 1e-8,
+                "EM log-likelihood decreased: {} -> {}",
+                w[0].log_likelihood,
+                w[1].log_likelihood
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_are_distributions() {
+        let (_, result) = fit_tiny(2, 10);
+        let m = &result.model;
+        for u in 0..m.num_users() {
+            assert!(tcam_math::vecops::is_distribution(
+                m.user_interest(UserId::from(u)),
+                1e-8
+            ));
+            let lam = m.lambda(UserId::from(u));
+            assert!((0.0..=1.0).contains(&lam));
+        }
+        for z in 0..m.num_user_topics() {
+            assert!(tcam_math::vecops::is_distribution(m.user_topic(z), 1e-8));
+        }
+        for t in 0..m.num_times() {
+            assert!(tcam_math::vecops::is_distribution(
+                m.temporal_context(TimeId::from(t)),
+                1e-8
+            ));
+        }
+        for x in 0..m.num_time_topics() {
+            assert!(tcam_math::vecops::is_distribution(m.time_topic(x), 1e-8));
+        }
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let (_, result) = fit_tiny(3, 5);
+        let m = &result.model;
+        let mut scores = vec![0.0; m.num_items()];
+        let u = UserId(2);
+        let t = TimeId(1);
+        m.predict_all(u, t, &mut scores);
+        for (v, &s) in scores.iter().enumerate() {
+            assert!((s - m.predict(u, t, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predict_is_a_distribution_over_items() {
+        let (_, result) = fit_tiny(4, 5);
+        let m = &result.model;
+        let mut scores = vec![0.0; m.num_items()];
+        m.predict_all(UserId(0), TimeId(0), &mut scores);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial() {
+        let data = synth::SynthDataset::generate(synth::tiny(5)).unwrap();
+        let base = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(5)
+            .with_seed(9);
+        let serial = TtcamModel::fit(&data.cuboid, &base).unwrap();
+        let parallel = TtcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
+        let a = serial.final_log_likelihood();
+        let b = parallel.final_log_likelihood();
+        assert!((a - b).abs() < 1e-6 * a.abs(), "serial {a} vs parallel {b}");
+    }
+
+    #[test]
+    fn time_topic_profile_peak_normalized() {
+        let (_, result) = fit_tiny(6, 10);
+        let m = &result.model;
+        for x in 0..m.num_time_topics() {
+            let profile = m.time_topic_profile(x);
+            assert_eq!(profile.len(), m.num_times());
+            let peak = profile.iter().cloned().fold(0.0, f64::max);
+            assert!((peak - 1.0).abs() < 1e-12 || peak == 0.0);
+        }
+    }
+
+    #[test]
+    fn lambda_recovers_planted_direction() {
+        // Strongly interest-driven data should produce clearly higher
+        // mean lambda than strongly context-driven data.
+        let mut interest_cfg = synth::tiny(21);
+        interest_cfg.lambda_alpha = 9.0;
+        interest_cfg.lambda_beta = 1.0;
+        let interest = synth::SynthDataset::generate(interest_cfg).unwrap();
+
+        let mut context_cfg = synth::tiny(22);
+        context_cfg.lambda_alpha = 1.0;
+        context_cfg.lambda_beta = 9.0;
+        context_cfg.event_activity_boost = 3.0;
+        let context = synth::SynthDataset::generate(context_cfg).unwrap();
+
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(30)
+            .with_seed(0);
+        let m_interest = TtcamModel::fit(&interest.cuboid, &config).unwrap().model;
+        let m_context = TtcamModel::fit(&context.cuboid, &config).unwrap().model;
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mi = mean(m_interest.lambdas());
+        let mc = mean(m_context.lambdas());
+        assert!(
+            mi > mc + 0.1,
+            "interest-driven lambda {mi:.3} should exceed context-driven {mc:.3}"
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! The rating cuboid `C[u, t, v]` (Definition 3 of the paper).
+//!
+//! The cuboid is extremely sparse (the paper's datasets have up to
+//! 201,663 users x 2.8M items x hundreds of intervals but only millions
+//! of nonzero cells), so it is stored as a deduplicated coordinate list
+//! sorted by `(user, time, item)` with a CSR-style offset table per user
+//! and a secondary time-major permutation. Both the EM inference of TCAM
+//! and the weighting statistics stream over these layouts without ever
+//! materializing the dense tensor.
+
+use crate::ids::{ItemId, TimeId, UserId};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One observed rating behavior `(u, t, v) -> value` (Definition 1).
+///
+/// `value` is the rating score: explicit feedback, or an implicit count
+/// such as a usage frequency, or a weighted score after the Section 3.3
+/// item-weighting transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// The acting user.
+    pub user: UserId,
+    /// The discretized time interval of the action.
+    pub time: TimeId,
+    /// The item acted on.
+    pub item: ItemId,
+    /// The (nonnegative) rating score.
+    pub value: f64,
+}
+
+/// Sparse, immutable rating cuboid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatingCuboid {
+    num_users: usize,
+    num_times: usize,
+    num_items: usize,
+    /// Entries sorted by `(user, time, item)`, duplicates summed.
+    entries: Vec<Rating>,
+    /// `user_offsets[u]..user_offsets[u+1]` indexes `entries` for user u.
+    user_offsets: Vec<usize>,
+    /// Permutation of entry indices sorted by `(time, user, item)`.
+    time_order: Vec<u32>,
+    /// `time_offsets[t]..time_offsets[t+1]` indexes `time_order` for t.
+    time_offsets: Vec<usize>,
+}
+
+impl RatingCuboid {
+    /// Builds a cuboid from raw ratings, validating ids and values,
+    /// summing duplicate `(u, t, v)` cells.
+    pub fn from_ratings(
+        num_users: usize,
+        num_times: usize,
+        num_items: usize,
+        mut ratings: Vec<Rating>,
+    ) -> Result<Self> {
+        for r in &ratings {
+            if r.user.index() >= num_users {
+                return Err(DataError::IdOutOfRange {
+                    kind: "user",
+                    index: r.user.index(),
+                    bound: num_users,
+                });
+            }
+            if r.time.index() >= num_times {
+                return Err(DataError::IdOutOfRange {
+                    kind: "time",
+                    index: r.time.index(),
+                    bound: num_times,
+                });
+            }
+            if r.item.index() >= num_items {
+                return Err(DataError::IdOutOfRange {
+                    kind: "item",
+                    index: r.item.index(),
+                    bound: num_items,
+                });
+            }
+            if !r.value.is_finite() || r.value < 0.0 {
+                return Err(DataError::InvalidRating { value: r.value });
+            }
+        }
+
+        ratings.sort_unstable_by_key(|r| (r.user, r.time, r.item));
+        // Merge duplicates in place.
+        let mut merged: Vec<Rating> = Vec::with_capacity(ratings.len());
+        for r in ratings {
+            match merged.last_mut() {
+                Some(last) if last.user == r.user && last.time == r.time && last.item == r.item => {
+                    last.value += r.value;
+                }
+                _ => merged.push(r),
+            }
+        }
+        // Drop zero-valued cells; they carry no information and would
+        // distort per-user rating counts.
+        merged.retain(|r| r.value > 0.0);
+
+        let mut user_offsets = vec![0usize; num_users + 1];
+        for r in &merged {
+            user_offsets[r.user.index() + 1] += 1;
+        }
+        for i in 0..num_users {
+            user_offsets[i + 1] += user_offsets[i];
+        }
+
+        // Time-major permutation via counting sort on t (entries are
+        // already (u, t, v)-sorted so within each t they stay user-sorted).
+        let mut time_offsets = vec![0usize; num_times + 1];
+        for r in &merged {
+            time_offsets[r.time.index() + 1] += 1;
+        }
+        for i in 0..num_times {
+            time_offsets[i + 1] += time_offsets[i];
+        }
+        let mut cursor = time_offsets.clone();
+        let mut time_order = vec![0u32; merged.len()];
+        for (idx, r) in merged.iter().enumerate() {
+            let slot = cursor[r.time.index()];
+            time_order[slot] = idx as u32;
+            cursor[r.time.index()] += 1;
+        }
+
+        Ok(RatingCuboid {
+            num_users,
+            num_times,
+            num_items,
+            entries: merged,
+            user_offsets,
+            time_order,
+            time_offsets,
+        })
+    }
+
+    /// Number of users `N`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of time intervals `T`.
+    #[inline]
+    pub fn num_times(&self) -> usize {
+        self.num_times
+    }
+
+    /// Number of items `V`.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of nonzero cells.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total rating mass `sum C[u, t, v]`.
+    pub fn total_mass(&self) -> f64 {
+        self.entries.iter().map(|r| r.value).sum()
+    }
+
+    /// All nonzero cells, sorted by `(user, time, item)`.
+    #[inline]
+    pub fn entries(&self) -> &[Rating] {
+        &self.entries
+    }
+
+    /// The nonzero cells of one user (their "user document", Def. 2).
+    #[inline]
+    pub fn user_entries(&self, user: UserId) -> &[Rating] {
+        let u = user.index();
+        &self.entries[self.user_offsets[u]..self.user_offsets[u + 1]]
+    }
+
+    /// Number of cells for one user (`M_u` when ratings are 0/1 counts).
+    #[inline]
+    pub fn user_nnz(&self, user: UserId) -> usize {
+        let u = user.index();
+        self.user_offsets[u + 1] - self.user_offsets[u]
+    }
+
+    /// Iterates the nonzero cells of one time interval.
+    pub fn time_entries(&self, time: TimeId) -> impl Iterator<Item = &Rating> + '_ {
+        let t = time.index();
+        self.time_order[self.time_offsets[t]..self.time_offsets[t + 1]]
+            .iter()
+            .map(move |&i| &self.entries[i as usize])
+    }
+
+    /// Entry indices (into [`Self::entries`]) of one time interval,
+    /// ordered by `(user, item)`.
+    #[inline]
+    pub fn time_entry_indices(&self, time: TimeId) -> &[u32] {
+        let t = time.index();
+        &self.time_order[self.time_offsets[t]..self.time_offsets[t + 1]]
+    }
+
+    /// Number of cells in one time interval.
+    #[inline]
+    pub fn time_nnz(&self, time: TimeId) -> usize {
+        let t = time.index();
+        self.time_offsets[t + 1] - self.time_offsets[t]
+    }
+
+    /// Looks up `C[u, t, v]`, returning 0.0 for absent cells.
+    pub fn get(&self, user: UserId, time: TimeId, item: ItemId) -> f64 {
+        let slice = self.user_entries(user);
+        slice
+            .binary_search_by_key(&(time, item), |r| (r.time, r.item))
+            .map(|i| slice[i].value)
+            .unwrap_or(0.0)
+    }
+
+    /// Returns a structurally identical cuboid with every cell value
+    /// mapped through `f(user, time, item, value)`.
+    ///
+    /// This is how the Section 3.3 weighting produces `C̄ = C · w` without
+    /// re-sorting: zero/negative outputs are clamped to a tiny positive
+    /// floor so the sparsity pattern (and thus index tables) is preserved.
+    pub fn map_values<F>(&self, mut f: F) -> RatingCuboid
+    where
+        F: FnMut(UserId, TimeId, ItemId, f64) -> f64,
+    {
+        let mut out = self.clone();
+        for r in &mut out.entries {
+            let v = f(r.user, r.time, r.item, r.value);
+            r.value = if v.is_finite() && v > 0.0 { v } else { f64::MIN_POSITIVE };
+        }
+        out
+    }
+
+    /// Builds a sub-cuboid containing only the given entry indices
+    /// (used by the train/test splitter). Dimensions are preserved.
+    pub fn subset(&self, entry_indices: &[usize]) -> RatingCuboid {
+        let ratings: Vec<Rating> = entry_indices.iter().map(|&i| self.entries[i]).collect();
+        RatingCuboid::from_ratings(self.num_users, self.num_times, self.num_items, ratings)
+            .expect("subset of a valid cuboid is valid")
+    }
+
+    /// Re-discretizes time by merging every `factor` consecutive
+    /// intervals into one (the last group may be smaller).
+    ///
+    /// This is how the paper's Table 3 sweep ("length of time interval"
+    /// from 1 to 10 days) is reproduced: the dataset is generated once
+    /// at the finest granularity and coarsened per sweep point.
+    pub fn coarsen_time(&self, factor: usize) -> RatingCuboid {
+        let factor = factor.max(1);
+        let new_times = self.num_times.div_ceil(factor);
+        let ratings: Vec<Rating> = self
+            .entries
+            .iter()
+            .map(|r| Rating {
+                time: TimeId::from(r.time.index() / factor),
+                ..*r
+            })
+            .collect();
+        RatingCuboid::from_ratings(self.num_users, new_times, self.num_items, ratings)
+            .expect("coarsening a valid cuboid stays valid")
+    }
+
+    /// The set of users with at least one rating.
+    pub fn active_users(&self) -> Vec<UserId> {
+        (0..self.num_users)
+            .map(UserId::from)
+            .filter(|&u| self.user_nnz(u) > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(u: u32, t: u32, v: u32, val: f64) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value: val }
+    }
+
+    fn sample() -> RatingCuboid {
+        RatingCuboid::from_ratings(
+            3,
+            2,
+            4,
+            vec![
+                r(0, 0, 1, 1.0),
+                r(0, 1, 2, 2.0),
+                r(1, 0, 1, 1.0),
+                r(1, 0, 3, 1.0),
+                r(2, 1, 0, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_and_nnz() {
+        let c = sample();
+        assert_eq!(c.num_users(), 3);
+        assert_eq!(c.num_times(), 2);
+        assert_eq!(c.num_items(), 4);
+        assert_eq!(c.nnz(), 5);
+        assert_eq!(c.total_mass(), 8.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let c = RatingCuboid::from_ratings(
+            1,
+            1,
+            1,
+            vec![r(0, 0, 0, 1.0), r(0, 0, 0, 2.5)],
+        )
+        .unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(UserId(0), TimeId(0), ItemId(0)), 3.5);
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let c = RatingCuboid::from_ratings(1, 1, 2, vec![r(0, 0, 0, 0.0), r(0, 0, 1, 1.0)])
+            .unwrap();
+        assert_eq!(c.nnz(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(1, 0, 0, 1.0)]),
+            Err(DataError::IdOutOfRange { kind: "user", .. })
+        ));
+        assert!(matches!(
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 1, 0, 1.0)]),
+            Err(DataError::IdOutOfRange { kind: "time", .. })
+        ));
+        assert!(matches!(
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 1, 1.0)]),
+            Err(DataError::IdOutOfRange { kind: "item", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        assert!(matches!(
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 0, -1.0)]),
+            Err(DataError::InvalidRating { .. })
+        ));
+        assert!(RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn user_entries_partition() {
+        let c = sample();
+        assert_eq!(c.user_entries(UserId(0)).len(), 2);
+        assert_eq!(c.user_entries(UserId(1)).len(), 2);
+        assert_eq!(c.user_entries(UserId(2)).len(), 1);
+        assert_eq!(c.user_nnz(UserId(2)), 1);
+        let total: usize = (0..3).map(|u| c.user_nnz(UserId(u))).sum();
+        assert_eq!(total, c.nnz());
+    }
+
+    #[test]
+    fn time_entries_partition() {
+        let c = sample();
+        let t0: Vec<_> = c.time_entries(TimeId(0)).collect();
+        let t1: Vec<_> = c.time_entries(TimeId(1)).collect();
+        assert_eq!(t0.len(), 3);
+        assert_eq!(t1.len(), 2);
+        assert!(t0.iter().all(|e| e.time == TimeId(0)));
+        assert!(t1.iter().all(|e| e.time == TimeId(1)));
+    }
+
+    #[test]
+    fn get_absent_is_zero() {
+        let c = sample();
+        assert_eq!(c.get(UserId(0), TimeId(0), ItemId(0)), 0.0);
+        assert_eq!(c.get(UserId(0), TimeId(0), ItemId(1)), 1.0);
+    }
+
+    #[test]
+    fn map_values_preserves_structure() {
+        let c = sample();
+        let doubled = c.map_values(|_, _, _, v| v * 2.0);
+        assert_eq!(doubled.nnz(), c.nnz());
+        assert_eq!(doubled.total_mass(), 16.0);
+        // Zero output is floored, keeping the sparsity pattern.
+        let floored = c.map_values(|_, _, _, _| 0.0);
+        assert_eq!(floored.nnz(), c.nnz());
+        assert!(floored.total_mass() > 0.0);
+    }
+
+    #[test]
+    fn subset_selects_entries() {
+        let c = sample();
+        let sub = c.subset(&[0, 2]);
+        assert_eq!(sub.nnz(), 2);
+        assert_eq!(sub.num_users(), c.num_users());
+    }
+
+    #[test]
+    fn coarsen_time_merges_intervals() {
+        let c = RatingCuboid::from_ratings(
+            2,
+            6,
+            2,
+            vec![r(0, 0, 0, 1.0), r(0, 1, 0, 1.0), r(0, 5, 1, 2.0), r(1, 3, 0, 1.0)],
+        )
+        .unwrap();
+        let coarse = c.coarsen_time(3);
+        assert_eq!(coarse.num_times(), 2);
+        // t=0 and t=1 merge into the same (u, t, v) cell.
+        assert_eq!(coarse.get(UserId(0), TimeId(0), ItemId(0)), 2.0);
+        assert_eq!(coarse.get(UserId(0), TimeId(1), ItemId(1)), 2.0);
+        assert_eq!(coarse.get(UserId(1), TimeId(1), ItemId(0)), 1.0);
+        assert_eq!(coarse.total_mass(), c.total_mass());
+    }
+
+    #[test]
+    fn coarsen_time_factor_one_is_identity() {
+        let c = sample();
+        let same = c.coarsen_time(1);
+        assert_eq!(same.entries(), c.entries());
+        assert_eq!(same.num_times(), c.num_times());
+    }
+
+    #[test]
+    fn active_users_skips_empty() {
+        let c = RatingCuboid::from_ratings(3, 1, 1, vec![r(0, 0, 0, 1.0), r(2, 0, 0, 1.0)])
+            .unwrap();
+        assert_eq!(c.active_users(), vec![UserId(0), UserId(2)]);
+    }
+}

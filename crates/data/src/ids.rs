@@ -1,0 +1,101 @@
+//! Typed identifiers for the three cuboid dimensions.
+//!
+//! Users, time intervals, and items are dense `u32` indices wrapped in
+//! newtypes so the compiler catches dimension mix-ups (the classic
+//! `C[v][u]` bug) at type-check time. `u32` halves the memory of the
+//! rating store relative to `usize` on 64-bit targets, which matters when
+//! generating millions of synthetic ratings.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $kind:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Converts to a `usize` for array indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The dimension name, used in error messages.
+            pub const KIND: &'static str = $kind;
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize);
+                $name(v as u32)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $kind, self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Dense user index `u` in `[0, N)`.
+    UserId,
+    "u"
+);
+define_id!(
+    /// Dense time-interval index `t` in `[0, T)`.
+    TimeId,
+    "t"
+);
+define_id!(
+    /// Dense item index `v` in `[0, V)`.
+    ItemId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_usize() {
+        let u = UserId::from(42usize);
+        assert_eq!(u.index(), 42);
+        assert_eq!(usize::from(u), 42);
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(TimeId(7).to_string(), "t7");
+        assert_eq!(ItemId(9).to_string(), "v9");
+    }
+
+    #[test]
+    fn ordering_by_value() {
+        assert!(ItemId(1) < ItemId(2));
+        assert_eq!(TimeId(5), TimeId(5));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&ItemId(12)).unwrap();
+        assert_eq!(json, "12");
+        let back: ItemId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ItemId(12));
+    }
+}

@@ -1,0 +1,72 @@
+//! Dataset persistence.
+//!
+//! Cuboids and ground truths serialize to JSON so that expensive
+//! generated datasets and trained models can be cached between bench
+//! runs and inspected by humans. JSON (via `serde_json`) was chosen over
+//! a binary format because artifact inspectability outweighs encode
+//! speed at these sizes; see `DESIGN.md` §2.
+
+use crate::cuboid::RatingCuboid;
+use crate::{DataError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Writes any serializable value as JSON to `path` (buffered).
+pub fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    serde_json::to_writer(writer, value).map_err(|e| DataError::Io(e.to_string()))
+}
+
+/// Reads a JSON value from `path` (buffered).
+pub fn load_json<T: serde::de::DeserializeOwned>(path: &Path) -> Result<T> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    serde_json::from_reader(reader).map_err(|e| DataError::Io(e.to_string()))
+}
+
+/// Saves a cuboid to JSON.
+pub fn save_cuboid(cuboid: &RatingCuboid, path: &Path) -> Result<()> {
+    save_json(cuboid, path)
+}
+
+/// Loads a cuboid from JSON.
+pub fn load_cuboid(path: &Path) -> Result<RatingCuboid> {
+    load_json(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::Rating;
+    use crate::ids::{ItemId, TimeId, UserId};
+
+    #[test]
+    fn cuboid_round_trips() {
+        let c = RatingCuboid::from_ratings(
+            2,
+            2,
+            2,
+            vec![
+                Rating { user: UserId(0), time: TimeId(0), item: ItemId(1), value: 2.0 },
+                Rating { user: UserId(1), time: TimeId(1), item: ItemId(0), value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("tcam-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cuboid.json");
+        save_cuboid(&c, &path).unwrap();
+        let back = load_cuboid(&path).unwrap();
+        assert_eq!(back.entries(), c.entries());
+        assert_eq!(back.num_users(), c.num_users());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = Path::new("/nonexistent/definitely/missing.json");
+        assert!(matches!(load_cuboid(path), Err(DataError::Io(_))));
+    }
+}

@@ -1,0 +1,151 @@
+//! Dataset statistics (the paper's Table 2).
+
+use crate::cuboid::RatingCuboid;
+use crate::ids::{TimeId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a rating cuboid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Declared number of users.
+    pub num_users: usize,
+    /// Users with at least one rating.
+    pub active_users: usize,
+    /// Declared number of items.
+    pub num_items: usize,
+    /// Items with at least one rating.
+    pub rated_items: usize,
+    /// Declared number of time intervals.
+    pub num_times: usize,
+    /// Nonzero cells.
+    pub num_ratings: usize,
+    /// Total rating mass.
+    pub total_mass: f64,
+    /// Mean ratings per active user.
+    pub mean_ratings_per_user: f64,
+    /// Maximum ratings by a single user.
+    pub max_ratings_per_user: usize,
+    /// Mean ratings per interval.
+    pub mean_ratings_per_interval: f64,
+    /// Density `nnz / (N * T * V)`.
+    pub density: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics in one pass over the cuboid.
+    pub fn compute(cuboid: &RatingCuboid) -> Self {
+        let num_users = cuboid.num_users();
+        let num_items = cuboid.num_items();
+        let num_times = cuboid.num_times();
+        let num_ratings = cuboid.nnz();
+
+        let mut active_users = 0usize;
+        let mut max_per_user = 0usize;
+        for u in 0..num_users {
+            let n = cuboid.user_nnz(UserId::from(u));
+            if n > 0 {
+                active_users += 1;
+            }
+            max_per_user = max_per_user.max(n);
+        }
+
+        let mut item_seen = vec![false; num_items];
+        for r in cuboid.entries() {
+            item_seen[r.item.index()] = true;
+        }
+        let rated_items = item_seen.iter().filter(|&&s| s).count();
+
+        let cells = (num_users as f64) * (num_items as f64) * (num_times as f64);
+        let interval_total: usize =
+            (0..num_times).map(|t| cuboid.time_nnz(TimeId::from(t))).sum();
+
+        DatasetStats {
+            num_users,
+            active_users,
+            num_items,
+            rated_items,
+            num_times,
+            num_ratings,
+            total_mass: cuboid.total_mass(),
+            mean_ratings_per_user: if active_users > 0 {
+                num_ratings as f64 / active_users as f64
+            } else {
+                0.0
+            },
+            max_ratings_per_user: max_per_user,
+            mean_ratings_per_interval: if num_times > 0 {
+                interval_total as f64 / num_times as f64
+            } else {
+                0.0
+            },
+            density: if cells > 0.0 { num_ratings as f64 / cells } else { 0.0 },
+        }
+    }
+
+    /// Renders the statistics as aligned `key: value` lines for reports.
+    pub fn to_report(&self, name: &str) -> String {
+        format!(
+            "dataset: {name}\n  users: {} ({} active)\n  items: {} ({} rated)\n  \
+             intervals: {}\n  ratings: {} (mass {:.1})\n  ratings/user: {:.1} (max {})\n  \
+             ratings/interval: {:.1}\n  density: {:.2e}",
+            self.num_users,
+            self.active_users,
+            self.num_items,
+            self.rated_items,
+            self.num_times,
+            self.num_ratings,
+            self.total_mass,
+            self.mean_ratings_per_user,
+            self.max_ratings_per_user,
+            self.mean_ratings_per_interval,
+            self.density,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::Rating;
+    use crate::ids::ItemId;
+
+    fn r(u: u32, t: u32, v: u32) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value: 1.0 }
+    }
+
+    #[test]
+    fn stats_match_hand_count() {
+        let c = RatingCuboid::from_ratings(
+            3,
+            2,
+            4,
+            vec![r(0, 0, 0), r(0, 1, 1), r(0, 1, 2), r(2, 0, 0)],
+        )
+        .unwrap();
+        let s = DatasetStats::compute(&c);
+        assert_eq!(s.num_users, 3);
+        assert_eq!(s.active_users, 2);
+        assert_eq!(s.rated_items, 3);
+        assert_eq!(s.num_ratings, 4);
+        assert_eq!(s.max_ratings_per_user, 3);
+        assert!((s.mean_ratings_per_user - 2.0).abs() < 1e-12);
+        assert!((s.density - 4.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cuboid_is_all_zero() {
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
+        let s = DatasetStats::compute(&c);
+        assert_eq!(s.active_users, 0);
+        assert_eq!(s.num_ratings, 0);
+        assert_eq!(s.mean_ratings_per_user, 0.0);
+    }
+
+    #[test]
+    fn report_contains_name() {
+        let c = RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 0)]).unwrap();
+        let report = DatasetStats::compute(&c).to_report("digg-like");
+        assert!(report.contains("digg-like"));
+        assert!(report.contains("ratings: 1"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Generator configuration.
+
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the planted generative process.
+///
+/// See the module docs and `DESIGN.md` §4 for the full process; briefly,
+/// a rating is produced by drawing an interval from a base-plus-events
+/// temporal intensity, flipping `s ~ Bernoulli(lambda_u*)`, and sampling
+/// an item either from the user's interest topics (`s = 1`) or from the
+/// event active at that time (`s = 0`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Dataset name used in reports (e.g., "digg-like").
+    pub name: String,
+    /// Number of users `N`.
+    pub num_users: usize,
+    /// Number of items `V`.
+    pub num_items: usize,
+    /// Number of time intervals `T`.
+    pub num_intervals: usize,
+    /// Number of planted stable (user-oriented) topics `K1*`.
+    pub num_user_topics: usize,
+    /// Number of planted bursty events (time-oriented topics) `K2*`.
+    pub num_events: usize,
+    /// Zipf exponent for item popularity (larger = heavier head).
+    pub zipf_exponent: f64,
+    /// Beta(alpha, beta) for the planted `lambda_u*` (interest weight).
+    pub lambda_alpha: f64,
+    /// Second Beta shape for `lambda_u*`.
+    pub lambda_beta: f64,
+    /// Mean ratings per user (log-normal across users).
+    pub mean_ratings_per_user: f64,
+    /// Log-normal sigma of the per-user rating count.
+    pub ratings_sigma: f64,
+    /// Minimum ratings per user.
+    pub min_ratings_per_user: usize,
+    /// Symmetric Dirichlet concentration of user interests over topics
+    /// (small = each user focused on few topics).
+    pub interest_concentration: f64,
+    /// Gamma shape of within-topic item affinities (small = spiky topic).
+    pub topic_item_concentration: f64,
+    /// Fraction of every stable topic's mass placed on the shared
+    /// popularity head (all topics overlap there). This is the paper's
+    /// Section 3.3 premise — popular items sit high in *every* topic —
+    /// and what makes the weighting scheme earn its keep.
+    pub topic_popular_share: f64,
+    /// Number of core (salient, bursty) items per event.
+    pub event_core_items: usize,
+    /// Fraction of each event's item mass diverted to globally popular
+    /// items — the "noise" the item-weighting scheme must overcome.
+    pub event_popular_tail: f64,
+    /// Std-dev of the Gaussian temporal profile of events, in intervals.
+    pub event_width: f64,
+    /// Relative strength of event-driven activity vs. baseline activity
+    /// in the temporal intensity used to draw rating times.
+    pub event_activity_boost: f64,
+    /// Fraction of ratings drawn from raw item popularity regardless of
+    /// the interest/context path — herd-behavior noise ("everyone rates
+    /// the blockbusters"). This is the confound the paper's
+    /// item-weighting scheme (Section 3.3) exists to cancel.
+    pub background_noise: f64,
+    /// Number of active intervals per user: real engagement is bursty
+    /// (sessions), so each user's ratings concentrate on a small set of
+    /// intervals instead of spreading uniformly. This is what gives the
+    /// paper's per-`(u, t)` evaluation groups their size.
+    pub user_active_intervals: usize,
+    /// Whether a user consumes each item at most once (true for news /
+    /// movies, false for tags, where re-use is natural). Real users do
+    /// not re-digg a story; this without-replacement constraint is what
+    /// makes "recommend the already-famous head" a losing strategy for
+    /// heavy users.
+    pub unique_items: bool,
+    /// RNG seed; equal configs generate equal datasets.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Validates all parameters, returning the first violation.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(field: &'static str, reason: &'static str) -> DataError {
+            DataError::InvalidConfig { field, reason }
+        }
+        if self.num_users == 0 {
+            return Err(bad("num_users", "must be positive"));
+        }
+        if self.num_items < 2 {
+            return Err(bad("num_items", "need at least two items"));
+        }
+        if self.num_intervals == 0 {
+            return Err(bad("num_intervals", "must be positive"));
+        }
+        if self.num_user_topics == 0 {
+            return Err(bad("num_user_topics", "must be positive"));
+        }
+        if self.num_events == 0 {
+            return Err(bad("num_events", "must be positive"));
+        }
+        if !(self.zipf_exponent > 0.0) {
+            return Err(bad("zipf_exponent", "must be positive"));
+        }
+        if !(self.lambda_alpha > 0.0) || !(self.lambda_beta > 0.0) {
+            return Err(bad("lambda_alpha/beta", "Beta shapes must be positive"));
+        }
+        if !(self.mean_ratings_per_user >= 1.0) {
+            return Err(bad("mean_ratings_per_user", "must be >= 1"));
+        }
+        if !(self.ratings_sigma >= 0.0) {
+            return Err(bad("ratings_sigma", "must be nonnegative"));
+        }
+        if self.event_core_items == 0 || self.event_core_items > self.num_items {
+            return Err(bad("event_core_items", "must be in [1, num_items]"));
+        }
+        if !(0.0..1.0).contains(&self.event_popular_tail) {
+            return Err(bad("event_popular_tail", "must be in [0, 1)"));
+        }
+        if !(self.event_width > 0.0) {
+            return Err(bad("event_width", "must be positive"));
+        }
+        if !(self.event_activity_boost >= 0.0) {
+            return Err(bad("event_activity_boost", "must be nonnegative"));
+        }
+        if !(0.0..1.0).contains(&self.background_noise) {
+            return Err(bad("background_noise", "must be in [0, 1)"));
+        }
+        if !(0.0..1.0).contains(&self.topic_popular_share) {
+            return Err(bad("topic_popular_share", "must be in [0, 1)"));
+        }
+        if self.user_active_intervals == 0 {
+            return Err(bad("user_active_intervals", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::synth::presets;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            presets::tiny(1),
+            presets::digg_like(1.0, 1),
+            presets::movielens_like(1.0, 1),
+            presets::douban_like(1.0, 1),
+            presets::delicious_like(1.0, 1),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = presets::tiny(1);
+        let mut c = base.clone();
+        c.num_users = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.num_items = 1;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.event_popular_tail = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.event_core_items = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.lambda_alpha = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The planted generative process.
+
+use super::config::SynthConfig;
+use super::truth::{EventTruth, GroundTruth};
+use super::SynthDataset;
+use crate::cuboid::{Rating, RatingCuboid};
+use crate::ids::{ItemId, TimeId, UserId};
+use crate::Result;
+use tcam_math::dist::{AliasTable, Beta, Dirichlet, Gamma, Normal};
+use tcam_math::Pcg64;
+
+/// Generates a dataset from a validated configuration.
+pub fn generate(config: SynthConfig) -> Result<SynthDataset> {
+    config.validate()?;
+    let mut rng = Pcg64::new(config.seed);
+
+    let popularity = plant_popularity(&config, &mut rng);
+    let user_topics = plant_user_topics(&config, &popularity, &mut rng);
+    let events = plant_events(&config, &popularity, &mut rng);
+    let (user_interest, lambda) = plant_users(&config, &mut rng);
+
+    // Precompute samplers. Topic/event item draws dominate the cost, so
+    // alias tables make the whole generation O(ratings).
+    let topic_tables: Vec<AliasTable> = user_topics
+        .iter()
+        .map(|d| AliasTable::new(d).expect("topic distributions are valid"))
+        .collect();
+    let event_tables: Vec<AliasTable> = events
+        .iter()
+        .map(|e| AliasTable::new(&e.item_dist).expect("event distributions are valid"))
+        .collect();
+    let popularity_table = AliasTable::new(&popularity).expect("popularity is valid");
+
+    // Temporal intensity for drawing rating times: a uniform baseline
+    // plus each event's profile scaled by its weight and the configured
+    // activity boost (events pull extra traffic to their peaks).
+    let baseline = 1.0 / config.num_intervals as f64;
+    let mut intensity = vec![baseline; config.num_intervals];
+    let total_event_weight: f64 = events.iter().map(|e| e.weight).sum();
+    for e in &events {
+        let scale = config.event_activity_boost * e.weight / total_event_weight;
+        for (i, &p) in e.profile.iter().enumerate() {
+            intensity[i] += scale * p;
+        }
+    }
+    let time_table = AliasTable::new(&intensity).expect("intensity is positive");
+
+    // Per-interval event posteriors P(x | t) ∝ weight_x * profile_x(t).
+    let event_at_t: Vec<AliasTable> = (0..config.num_intervals)
+        .map(|t| {
+            let weights: Vec<f64> = events
+                .iter()
+                .map(|e| (e.weight * e.profile[t]).max(1e-12))
+                .collect();
+            AliasTable::new(&weights).expect("event posterior is valid")
+        })
+        .collect();
+
+    let count_dist = RatingCountSampler::new(&config);
+    let mut ratings: Vec<Rating> = Vec::new();
+    let mut interest_ratings = 0usize;
+    let mut context_ratings = 0usize;
+
+    let mut consumed: Vec<bool> = vec![false; config.num_items];
+    let mut touched: Vec<usize> = Vec::new();
+    let n_active = config.user_active_intervals.min(config.num_intervals);
+    for u in 0..config.num_users {
+        let m_u = count_dist.sample(&mut rng);
+        let interest_table = AliasTable::new(&user_interest[u])
+            .expect("user interest is a valid distribution");
+        // Bursty sessions: this user is active in a few intervals drawn
+        // from the global intensity; all their ratings land there.
+        let mut active: Vec<usize> = Vec::with_capacity(n_active);
+        while active.len() < n_active {
+            let t = time_table.sample(&mut rng);
+            if !active.contains(&t) {
+                active.push(t);
+            }
+        }
+        for slot in &touched {
+            consumed[*slot] = false;
+        }
+        touched.clear();
+        for _ in 0..m_u {
+            let t = active[rng.gen_range(n_active)];
+            // Without-replacement consumption: retry a few times when the
+            // user already consumed the drawn item (news/movie platforms),
+            // accepting a repeat if the user's taste region is exhausted.
+            let max_tries = if config.unique_items { 16 } else { 1 };
+            let mut item = 0usize;
+            let mut from_interest = None;
+            for attempt in 0..max_tries {
+                item = if rng.gen_bool(config.background_noise) {
+                    // Herd-behavior noise: a popular item regardless of
+                    // the user's state — the confound weighting cancels.
+                    from_interest = None;
+                    popularity_table.sample(&mut rng)
+                } else if rng.gen_bool(lambda[u]) {
+                    from_interest = Some(true);
+                    let z = interest_table.sample(&mut rng);
+                    topic_tables[z].sample(&mut rng)
+                } else {
+                    from_interest = Some(false);
+                    let x = event_at_t[t].sample(&mut rng);
+                    // With the configured tail probability the "event"
+                    // rating lands on a popular item — realistic noise.
+                    if rng.gen_bool(config.event_popular_tail) {
+                        popularity_table.sample(&mut rng)
+                    } else {
+                        event_tables[x].sample(&mut rng)
+                    }
+                };
+                if !consumed[item] || attempt + 1 == max_tries {
+                    break;
+                }
+            }
+            match from_interest {
+                Some(true) => interest_ratings += 1,
+                Some(false) => context_ratings += 1,
+                None => {}
+            }
+            if !consumed[item] {
+                consumed[item] = true;
+                touched.push(item);
+            }
+            ratings.push(Rating {
+                user: UserId::from(u),
+                time: TimeId::from(t),
+                item: ItemId::from(item),
+                value: 1.0,
+            });
+        }
+    }
+
+    let cuboid = RatingCuboid::from_ratings(
+        config.num_users,
+        config.num_intervals,
+        config.num_items,
+        ratings,
+    )?;
+
+    Ok(SynthDataset {
+        config,
+        cuboid,
+        truth: GroundTruth {
+            popularity,
+            user_topics,
+            user_interest,
+            lambda,
+            events,
+            interest_ratings,
+            context_ratings,
+        },
+    })
+}
+
+/// Zipf popularity with ranks assigned by a random permutation so that
+/// popular items are scattered across the id space.
+fn plant_popularity(config: &SynthConfig, rng: &mut Pcg64) -> Vec<f64> {
+    let v = config.num_items;
+    let mut ranks: Vec<usize> = (0..v).collect();
+    rng.shuffle(&mut ranks);
+    let mut pop = vec![0.0; v];
+    for (item, &rank) in ranks.iter().enumerate() {
+        pop[item] = ((rank + 1) as f64).powf(-config.zipf_exponent);
+    }
+    pop
+}
+
+/// Stable topics: every topic is a mixture of (a) its own niche items
+/// (idiosyncratic gamma-noise affinities over a disjoint item block) and
+/// (b) the shared Zipf popularity head, with `topic_popular_share` mass
+/// on the latter. The shared head is what makes plain topic models
+/// degrade — popular items rank high in *every* topic (the paper's
+/// Section 3.3 premise) — and what the item-weighting scheme corrects.
+fn plant_user_topics(
+    config: &SynthConfig,
+    popularity: &[f64],
+    rng: &mut Pcg64,
+) -> Vec<Vec<f64>> {
+    let k1 = config.num_user_topics;
+    let v = config.num_items;
+    let share = config.topic_popular_share;
+    let gamma = Gamma::new(config.topic_item_concentration, 1.0)
+        .expect("validated concentration");
+    let mut assignment: Vec<usize> = (0..v).map(|i| i % k1).collect();
+    rng.shuffle(&mut assignment);
+    let pop_dist = tcam_math::vecops::normalized(popularity);
+    let mut topics = vec![vec![0.0; v]; k1];
+    for item in 0..v {
+        let z = assignment[item];
+        topics[z][item] = gamma.sample(rng).max(1e-9);
+    }
+    for topic in &mut topics {
+        tcam_math::vecops::normalize_in_place(topic);
+        for (cell, &p) in topic.iter_mut().zip(pop_dist.iter()) {
+            *cell = (1.0 - share) * *cell + share * p;
+        }
+    }
+    topics
+}
+
+/// Bursty events: core items are drawn preferentially from the unpopular
+/// tail (a breaking story is a *new* item, not an evergreen one); the
+/// temporal profile is a discretized Gaussian around a random center.
+fn plant_events(config: &SynthConfig, popularity: &[f64], rng: &mut Pcg64) -> Vec<EventTruth> {
+    let v = config.num_items;
+    let t_max = config.num_intervals;
+    // Inverse-popularity weights for picking salient core items.
+    let max_pop = popularity.iter().cloned().fold(0.0, f64::max);
+    let salience: Vec<f64> = popularity.iter().map(|&p| (max_pop - p) + 1e-6).collect();
+    let salience_table = AliasTable::new(&salience).expect("salience weights valid");
+    let core_dirichlet = Dirichlet::symmetric(config.event_core_items.max(2), 1.0)
+        .expect("core size >= 2 after max");
+
+    (0..config.num_events)
+        .map(|x| {
+            let center = rng.gen_range(t_max);
+            let width = config.event_width;
+            // Prominence: a couple of "headline" events, many small ones.
+            let weight = 0.5 + 1.5 * rng.next_f64() + if x < 2 { 2.0 } else { 0.0 };
+
+            let mut core_items: Vec<ItemId> = Vec::with_capacity(config.event_core_items);
+            while core_items.len() < config.event_core_items {
+                let candidate = ItemId::from(salience_table.sample(rng));
+                if !core_items.contains(&candidate) {
+                    core_items.push(candidate);
+                }
+            }
+
+            let core_mass = core_dirichlet.sample(rng);
+            let mut item_dist = vec![0.0; v];
+            for (slot, item) in core_items.iter().enumerate() {
+                item_dist[item.index()] = core_mass[slot];
+            }
+            tcam_math::vecops::normalize_in_place(&mut item_dist);
+
+            let mut profile: Vec<f64> = (0..t_max)
+                .map(|t| {
+                    let d = (t as f64 - center as f64) / width;
+                    (-0.5 * d * d).exp()
+                })
+                .collect();
+            tcam_math::vecops::normalize_in_place(&mut profile);
+
+            EventTruth {
+                name: format!("event-{x}"),
+                center,
+                width,
+                weight,
+                core_items,
+                item_dist,
+                profile,
+            }
+        })
+        .collect()
+}
+
+/// Per-user interest distributions and mixing weights.
+fn plant_users(config: &SynthConfig, rng: &mut Pcg64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let interest_prior = if config.num_user_topics >= 2 {
+        Some(
+            Dirichlet::symmetric(config.num_user_topics, config.interest_concentration)
+                .expect("validated concentration"),
+        )
+    } else {
+        None
+    };
+    let lambda_prior =
+        Beta::new(config.lambda_alpha, config.lambda_beta).expect("validated Beta shapes");
+
+    let mut interest = Vec::with_capacity(config.num_users);
+    let mut lambda = Vec::with_capacity(config.num_users);
+    for _ in 0..config.num_users {
+        interest.push(match &interest_prior {
+            Some(d) => d.sample(rng),
+            None => vec![1.0],
+        });
+        lambda.push(lambda_prior.sample(rng));
+    }
+    (interest, lambda)
+}
+
+/// Log-normal rating-count sampler with a floor.
+struct RatingCountSampler {
+    normal: Normal,
+    min: usize,
+}
+
+impl RatingCountSampler {
+    fn new(config: &SynthConfig) -> Self {
+        let sigma = config.ratings_sigma;
+        // Choose mu so the log-normal mean equals mean_ratings_per_user.
+        let mu = config.mean_ratings_per_user.ln() - 0.5 * sigma * sigma;
+        RatingCountSampler {
+            normal: Normal::new(mu, sigma).expect("validated sigma"),
+            min: config.min_ratings_per_user,
+        }
+    }
+
+    fn sample(&self, rng: &mut Pcg64) -> usize {
+        let draw = self.normal.sample(rng).exp().round() as usize;
+        draw.max(self.min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::presets;
+
+    #[test]
+    fn generates_valid_cuboid() {
+        let data = generate(presets::tiny(42)).unwrap();
+        let cfg = &data.config;
+        assert_eq!(data.cuboid.num_users(), cfg.num_users);
+        assert_eq!(data.cuboid.num_items(), cfg.num_items);
+        assert_eq!(data.cuboid.num_times(), cfg.num_intervals);
+        assert!(data.cuboid.nnz() > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(presets::tiny(7)).unwrap();
+        let b = generate(presets::tiny(7)).unwrap();
+        assert_eq!(a.cuboid.entries(), b.cuboid.entries());
+        assert_eq!(a.truth.lambda, b.truth.lambda);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(presets::tiny(1)).unwrap();
+        let b = generate(presets::tiny(2)).unwrap();
+        assert_ne!(a.cuboid.entries(), b.cuboid.entries());
+    }
+
+    #[test]
+    fn truth_shapes_match_config() {
+        let data = generate(presets::tiny(3)).unwrap();
+        let cfg = &data.config;
+        assert_eq!(data.truth.user_topics.len(), cfg.num_user_topics);
+        assert_eq!(data.truth.user_interest.len(), cfg.num_users);
+        assert_eq!(data.truth.lambda.len(), cfg.num_users);
+        assert_eq!(data.truth.events.len(), cfg.num_events);
+        for e in &data.truth.events {
+            assert_eq!(e.profile.len(), cfg.num_intervals);
+            assert_eq!(e.core_items.len(), cfg.event_core_items);
+            assert!((e.profile.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((e.item_dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn provenance_counts_track_lambda() {
+        // With lambda ~ Beta(9, 1) (mean 0.9) nearly all ratings should
+        // come from the interest path.
+        let mut cfg = presets::tiny(5);
+        cfg.lambda_alpha = 9.0;
+        cfg.lambda_beta = 1.0;
+        let data = generate(cfg).unwrap();
+        let total = (data.truth.interest_ratings + data.truth.context_ratings) as f64;
+        let share = data.truth.interest_ratings as f64 / total;
+        assert!(share > 0.8, "interest share {share}");
+    }
+
+    #[test]
+    fn event_ratings_concentrate_near_center() {
+        // Context-dominated config: ratings at an event's center interval
+        // should over-represent its core items.
+        let mut cfg = presets::tiny(11);
+        cfg.lambda_alpha = 1.0;
+        cfg.lambda_beta = 9.0;
+        cfg.event_popular_tail = 0.05;
+        let data = generate(cfg).unwrap();
+        let event = &data.truth.events[0];
+        let t = TimeId::from(event.center);
+        let core: std::collections::HashSet<u32> =
+            event.core_items.iter().map(|i| i.0).collect();
+        let at_center: Vec<_> = data.cuboid.time_entries(t).collect();
+        let core_hits = at_center.iter().filter(|r| core.contains(&r.item.0)).count();
+        // The dominant event at its center should own a visible share.
+        assert!(
+            core_hits > 0,
+            "no core-item ratings at event center (total {})",
+            at_center.len()
+        );
+    }
+
+    #[test]
+    fn min_ratings_floor_respected() {
+        let mut cfg = presets::tiny(13);
+        cfg.min_ratings_per_user = 5;
+        cfg.mean_ratings_per_user = 5.0;
+        let data = generate(cfg).unwrap();
+        // Note: duplicates merge, so user_nnz can be below the floor of
+        // *generated* actions; check mass instead.
+        for u in 0..data.cuboid.num_users() {
+            let mass: f64 = data
+                .cuboid
+                .user_entries(UserId::from(u))
+                .iter()
+                .map(|r| r.value)
+                .sum();
+            assert!(mass >= 5.0, "user {u} mass {mass}");
+        }
+    }
+}

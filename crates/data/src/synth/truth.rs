@@ -1,0 +1,130 @@
+//! Planted ground-truth parameters retained alongside generated data.
+
+use crate::ids::ItemId;
+use serde::{Deserialize, Serialize};
+
+/// One planted bursty event (a true time-oriented topic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventTruth {
+    /// Human-readable label ("event-3"), used by the qualitative topic
+    /// tables (paper Tables 5–7).
+    pub name: String,
+    /// Interval index at which the event peaks.
+    pub center: usize,
+    /// Std-dev of the Gaussian temporal profile, in intervals.
+    pub width: f64,
+    /// Relative prominence (bigger events generate more ratings).
+    pub weight: f64,
+    /// The salient core items that define the event.
+    pub core_items: Vec<ItemId>,
+    /// Item distribution of the event (core mass + popular tail).
+    pub item_dist: Vec<f64>,
+    /// Temporal profile over all intervals, normalized to sum to one.
+    pub profile: Vec<f64>,
+}
+
+/// Full planted generative state for one synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Item popularity weights (unnormalized Zipf), length `V`.
+    pub popularity: Vec<f64>,
+    /// Stable topic item distributions, `K1*` rows of length `V`.
+    pub user_topics: Vec<Vec<f64>>,
+    /// Per-user interest over stable topics, `N` rows of length `K1*`.
+    pub user_interest: Vec<Vec<f64>>,
+    /// Per-user planted mixing weight `lambda_u*`.
+    pub lambda: Vec<f64>,
+    /// Planted events.
+    pub events: Vec<EventTruth>,
+    /// Per-rating provenance counts: how many generated ratings came
+    /// from the interest path vs. the context path (diagnostics).
+    pub interest_ratings: usize,
+    /// Ratings generated via the temporal-context path.
+    pub context_ratings: usize,
+}
+
+impl GroundTruth {
+    /// Mean planted lambda across users.
+    pub fn mean_lambda(&self) -> f64 {
+        if self.lambda.is_empty() {
+            return 0.0;
+        }
+        self.lambda.iter().sum::<f64>() / self.lambda.len() as f64
+    }
+
+    /// The union of all events' core items.
+    pub fn all_event_items(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> =
+            self.events.iter().flat_map(|e| e.core_items.iter().copied()).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// The event whose temporal profile has the most mass at interval `t`.
+    pub fn dominant_event_at(&self, t: usize) -> Option<&EventTruth> {
+        self.events
+            .iter()
+            .max_by(|a, b| {
+                let pa = a.weight * a.profile.get(t).copied().unwrap_or(0.0);
+                let pb = b.weight * b.profile.get(t).copied().unwrap_or(0.0);
+                pa.partial_cmp(&pb).expect("profiles are finite")
+            })
+            .filter(|e| e.profile.get(t).copied().unwrap_or(0.0) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_with_two_events() -> GroundTruth {
+        GroundTruth {
+            popularity: vec![1.0, 0.5],
+            user_topics: vec![vec![0.5, 0.5]],
+            user_interest: vec![vec![1.0]],
+            lambda: vec![0.25, 0.75],
+            events: vec![
+                EventTruth {
+                    name: "event-0".into(),
+                    center: 1,
+                    width: 1.0,
+                    weight: 1.0,
+                    core_items: vec![ItemId(0)],
+                    item_dist: vec![1.0, 0.0],
+                    profile: vec![0.2, 0.8],
+                },
+                EventTruth {
+                    name: "event-1".into(),
+                    center: 0,
+                    width: 1.0,
+                    weight: 1.0,
+                    core_items: vec![ItemId(1), ItemId(0)],
+                    item_dist: vec![0.0, 1.0],
+                    profile: vec![0.9, 0.1],
+                },
+            ],
+            interest_ratings: 10,
+            context_ratings: 5,
+        }
+    }
+
+    #[test]
+    fn mean_lambda_average() {
+        let t = truth_with_two_events();
+        assert!((t.mean_lambda() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_event_items_deduped_sorted() {
+        let t = truth_with_two_events();
+        assert_eq!(t.all_event_items(), vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn dominant_event_tracks_profile() {
+        let t = truth_with_two_events();
+        assert_eq!(t.dominant_event_at(0).unwrap().name, "event-1");
+        assert_eq!(t.dominant_event_at(1).unwrap().name, "event-0");
+    }
+}

@@ -1,0 +1,317 @@
+//! The item-weighting scheme of Section 3.3 (Eqs. 17–20).
+//!
+//! Plain TCAM, like any multinomial topic model, over-weights popular
+//! items: they accumulate generation probability in every topic and crowd
+//! out both the *salient* items that actually characterize a user's
+//! interest and the *bursty* items that characterize an event. The paper
+//! counters this by reweighting every cuboid cell:
+//!
+//! * **inverse user frequency** `iuf(v) = log(N / N(v))` (Eq. 17) demotes
+//!   items rated by many distinct users, and
+//! * **bursty degree** `B(v, t) = (N_t(v) / N_t) · (N / N(v))` (Eq. 18)
+//!   promotes items whose interval-t audience share exceeds their overall
+//!   audience share,
+//!
+//! combined as `w(v, t) = iuf(v) · B(v, t)` (Eq. 19) and applied
+//! cell-wise: `C̄[u,t,v] = C[u,t,v] · w(v,t)` (Eq. 20). Training ITCAM /
+//! TTCAM on `C̄` yields the paper's W-ITCAM / W-TTCAM variants.
+
+use crate::cuboid::RatingCuboid;
+use crate::ids::{ItemId, TimeId};
+use serde::{Deserialize, Serialize};
+
+/// Which weighting formula to apply (for ablation of the two factors of
+/// Eq. 19 and for a variance-damped variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightingScheme {
+    /// The paper's Eq. 19: `w = iuf(v) * B(v, t)`.
+    Full,
+    /// Inverse user frequency only: `w = iuf(v)`.
+    IufOnly,
+    /// Bursty degree only: `w = B(v, t)`.
+    BurstOnly,
+    /// Log-damped full weight: `w = ln(1 + iuf(v) * B(v, t))`.
+    ///
+    /// Eq. 19 is unbounded — a once-ever item at a sparse interval gets
+    /// weight `~ log(N) * N / N_t`, and at laptop scale a handful of
+    /// such cells can dominate the EM objective. Damping preserves the
+    /// ordering (demote popular, promote bursty) while bounding the
+    /// dynamic range; the ablation bench compares all four variants.
+    Damped,
+}
+
+/// Precomputed weighting statistics for one cuboid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemWeighting {
+    /// `N`: the number of active users (users with >= 1 rating). The
+    /// paper says "total number of users in the data set"; we use active
+    /// users so registered-but-silent accounts cannot inflate every
+    /// item's iuf by a constant that never affects ranking anyway.
+    n_users: usize,
+    /// `N(v)`: distinct users who rated item v across all intervals.
+    item_users: Vec<u32>,
+    /// `N_t`: distinct active users in interval t.
+    active_users_per_t: Vec<u32>,
+    /// Per interval: `(item, N_t(v))` pairs sorted by item for lookup.
+    burst_counts: Vec<Vec<(u32, u32)>>,
+}
+
+impl ItemWeighting {
+    /// Computes all statistics in two passes over the cuboid.
+    pub fn compute(cuboid: &RatingCuboid) -> Self {
+        let num_items = cuboid.num_items();
+        let num_times = cuboid.num_times();
+
+        // N(v): distinct (user, item) pairs. Entries are sorted by
+        // (user, time, item); per user we dedup items with a scratch set.
+        let mut item_users = vec![0u32; num_items];
+        let mut scratch: Vec<u32> = Vec::new();
+        for u in 0..cuboid.num_users() {
+            let entries = cuboid.user_entries(crate::UserId::from(u));
+            if entries.is_empty() {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(entries.iter().map(|r| r.item.0));
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &v in &scratch {
+                item_users[v as usize] += 1;
+            }
+        }
+        let n_users = cuboid.active_users().len();
+
+        // Per interval: N_t (distinct users; within-t order is
+        // user-sorted so a transition count suffices) and N_t(v)
+        // (each (u, t, v) cell is unique, so N_t(v) = cells with item v).
+        let mut active_users_per_t = vec![0u32; num_times];
+        let mut burst_counts: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_times];
+        let mut item_count: Vec<(u32, u32)> = Vec::new();
+        for t in 0..num_times {
+            let tid = TimeId::from(t);
+            let mut last_user = u32::MAX;
+            item_count.clear();
+            for entry in cuboid.time_entries(tid) {
+                if entry.user.0 != last_user {
+                    active_users_per_t[t] += 1;
+                    last_user = entry.user.0;
+                }
+                item_count.push((entry.item.0, 1));
+            }
+            item_count.sort_unstable_by_key(|&(v, _)| v);
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(item_count.len());
+            for &(v, c) in &item_count {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += c,
+                    _ => merged.push((v, c)),
+                }
+            }
+            burst_counts[t] = merged;
+        }
+
+        ItemWeighting { n_users, item_users, active_users_per_t, burst_counts }
+    }
+
+    /// `N`: active user count used as the population size.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// `N(v)`: distinct users who rated `v`.
+    pub fn item_user_count(&self, item: ItemId) -> u32 {
+        self.item_users[item.index()]
+    }
+
+    /// `N_t`: distinct active users in interval `t`.
+    pub fn active_users(&self, time: TimeId) -> u32 {
+        self.active_users_per_t[time.index()]
+    }
+
+    /// `N_t(v)`: distinct users who rated `v` during `t`.
+    pub fn item_user_count_at(&self, item: ItemId, time: TimeId) -> u32 {
+        let counts = &self.burst_counts[time.index()];
+        counts
+            .binary_search_by_key(&item.0, |&(v, _)| v)
+            .map(|i| counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Inverse user frequency `iuf(v) = log(N / N(v))` (Eq. 17).
+    ///
+    /// Items never rated get the maximum iuf `log N` (they are maximally
+    /// salient); this only matters for degenerate test fixtures since
+    /// unrated items never appear in the cuboid.
+    pub fn iuf(&self, item: ItemId) -> f64 {
+        let nv = self.item_users[item.index()].max(1) as f64;
+        ((self.n_users.max(1) as f64) / nv).ln()
+    }
+
+    /// Bursty degree `B(v, t) = (N_t(v)/N_t) · (N/N(v))` (Eq. 18).
+    ///
+    /// Values above 1 mean `v`'s share of interval-t attention exceeds
+    /// its overall attention share — the signature of a burst.
+    pub fn bursty_degree(&self, item: ItemId, time: TimeId) -> f64 {
+        let ntv = self.item_user_count_at(item, time) as f64;
+        let nt = self.active_users_per_t[time.index()].max(1) as f64;
+        let nv = self.item_users[item.index()].max(1) as f64;
+        (ntv / nt) * (self.n_users.max(1) as f64 / nv)
+    }
+
+    /// Combined weight `w(v, t) = iuf(v) · B(v, t)` (Eq. 19).
+    pub fn weight(&self, item: ItemId, time: TimeId) -> f64 {
+        self.iuf(item) * self.bursty_degree(item, time)
+    }
+
+    /// Weight under a chosen [`WeightingScheme`].
+    pub fn weight_with(&self, scheme: WeightingScheme, item: ItemId, time: TimeId) -> f64 {
+        match scheme {
+            WeightingScheme::Full => self.weight(item, time),
+            WeightingScheme::IufOnly => self.iuf(item),
+            WeightingScheme::BurstOnly => self.bursty_degree(item, time),
+            WeightingScheme::Damped => self.weight(item, time).ln_1p(),
+        }
+    }
+
+    /// Applies Eq. 20: returns the weighted cuboid `C̄[u,t,v] = C·w`.
+    ///
+    /// Cells whose weight collapses to zero (items rated by every user,
+    /// so `iuf = 0`) are floored to a tiny positive value inside
+    /// [`RatingCuboid::map_values`] to preserve the sparsity pattern.
+    pub fn apply(&self, cuboid: &RatingCuboid) -> RatingCuboid {
+        self.apply_with(WeightingScheme::Full, cuboid)
+    }
+
+    /// Applies Eq. 20 under a chosen scheme.
+    pub fn apply_with(&self, scheme: WeightingScheme, cuboid: &RatingCuboid) -> RatingCuboid {
+        cuboid.map_values(|_, t, v, value| value * self.weight_with(scheme, v, t))
+    }
+
+    /// Normalized temporal frequency profile of one item: the fraction
+    /// of each interval's active users who rated it, scaled so the peak
+    /// is 1. This regenerates the curves of the paper's Figures 2 and 5.
+    pub fn temporal_profile(&self, item: ItemId) -> Vec<f64> {
+        let raw: Vec<f64> = (0..self.active_users_per_t.len())
+            .map(|t| {
+                let tid = TimeId::from(t);
+                let nt = self.active_users(tid).max(1) as f64;
+                self.item_user_count_at(item, tid) as f64 / nt
+            })
+            .collect();
+        let peak = raw.iter().cloned().fold(0.0, f64::max);
+        if peak > 0.0 {
+            raw.iter().map(|x| x / peak).collect()
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::Rating;
+    use crate::ids::UserId;
+
+    fn r(u: u32, t: u32, v: u32) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value: 1.0 }
+    }
+
+    /// 4 users, 2 intervals, 3 items.
+    /// item 0: rated by everyone in both intervals (popular, non-bursty)
+    /// item 1: rated by users 0,1 only in interval 1 (bursty, salient)
+    /// item 2: rated by user 3 in interval 0 (salient, mildly bursty)
+    fn fixture() -> RatingCuboid {
+        RatingCuboid::from_ratings(
+            4,
+            2,
+            3,
+            vec![
+                r(0, 0, 0),
+                r(1, 0, 0),
+                r(2, 0, 0),
+                r(3, 0, 0),
+                r(0, 1, 0),
+                r(1, 1, 0),
+                r(2, 1, 0),
+                r(3, 1, 0),
+                r(0, 1, 1),
+                r(1, 1, 1),
+                r(3, 0, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_match_hand_computation() {
+        let w = ItemWeighting::compute(&fixture());
+        assert_eq!(w.n_users(), 4);
+        assert_eq!(w.item_user_count(ItemId(0)), 4);
+        assert_eq!(w.item_user_count(ItemId(1)), 2);
+        assert_eq!(w.item_user_count(ItemId(2)), 1);
+        assert_eq!(w.active_users(TimeId(0)), 4);
+        assert_eq!(w.active_users(TimeId(1)), 4);
+        assert_eq!(w.item_user_count_at(ItemId(1), TimeId(0)), 0);
+        assert_eq!(w.item_user_count_at(ItemId(1), TimeId(1)), 2);
+    }
+
+    #[test]
+    fn iuf_matches_eq17() {
+        let w = ItemWeighting::compute(&fixture());
+        // iuf(v) = log(N / N(v))
+        assert!((w.iuf(ItemId(0)) - (4.0_f64 / 4.0).ln()).abs() < 1e-12);
+        assert!((w.iuf(ItemId(1)) - (4.0_f64 / 2.0).ln()).abs() < 1e-12);
+        assert!((w.iuf(ItemId(2)) - (4.0_f64 / 1.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_degree_matches_eq18() {
+        let w = ItemWeighting::compute(&fixture());
+        // item 1 at t=1: N_t(v)=2, N_t=4, N=4, N(v)=2 -> (2/4)*(4/2) = 1.0
+        assert!((w.bursty_degree(ItemId(1), TimeId(1)) - 1.0).abs() < 1e-12);
+        // item 1 at t=0: burst 0.
+        assert_eq!(w.bursty_degree(ItemId(1), TimeId(0)), 0.0);
+        // item 0 at t=0: (4/4)*(4/4) = 1.0 — popular but not bursty.
+        assert!((w.bursty_degree(ItemId(0), TimeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_demotes_popular_promotes_bursty() {
+        let w = ItemWeighting::compute(&fixture());
+        // Popular item 0 has iuf 0 -> weight 0 regardless of interval.
+        assert_eq!(w.weight(ItemId(0), TimeId(0)), 0.0);
+        // Bursty salient item 1 at its burst time has positive weight.
+        assert!(w.weight(ItemId(1), TimeId(1)) > 0.0);
+        assert!(w.weight(ItemId(1), TimeId(1)) > w.weight(ItemId(0), TimeId(1)));
+    }
+
+    #[test]
+    fn apply_preserves_structure() {
+        let c = fixture();
+        let w = ItemWeighting::compute(&c);
+        let weighted = w.apply(&c);
+        assert_eq!(weighted.nnz(), c.nnz());
+        assert_eq!(weighted.num_users(), c.num_users());
+        // Item-1 cells outweigh item-0 cells after weighting.
+        let v1 = weighted.get(UserId(0), TimeId(1), ItemId(1));
+        let v0 = weighted.get(UserId(0), TimeId(1), ItemId(0));
+        assert!(v1 > v0);
+    }
+
+    #[test]
+    fn temporal_profile_peaks_at_burst() {
+        let w = ItemWeighting::compute(&fixture());
+        let profile = w.temporal_profile(ItemId(1));
+        assert_eq!(profile, vec![0.0, 1.0]);
+        let flat = w.temporal_profile(ItemId(0));
+        assert_eq!(flat, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn unrated_item_has_zero_profile() {
+        let c = RatingCuboid::from_ratings(2, 2, 3, vec![r(0, 0, 0), r(1, 1, 0)]).unwrap();
+        let w = ItemWeighting::compute(&c);
+        let profile = w.temporal_profile(ItemId(2));
+        assert!(profile.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Cholesky factorization and SPD linear solves.
+//!
+//! BPTF's Gibbs sampler repeatedly needs (a) samples from
+//! `N(mu, Lambda^{-1})` where `Lambda` is a symmetric positive definite
+//! precision matrix, and (b) solutions of `Lambda x = b`. Both reduce to
+//! a Cholesky factorization `Lambda = L L^T` followed by triangular
+//! solves, which is what this module provides.
+
+use crate::{Matrix, MathError, Result};
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`MathError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive (within a small tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 1e-300 {
+                        return Err(MathError::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MathError::DimensionMismatch {
+                op: "solve_lower",
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * y[k];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` by backward substitution.
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(MathError::DimensionMismatch {
+                op: "solve_upper",
+                expected: n,
+                got: y.len(),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves the full SPD system `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Computes `A^{-1}` by solving against each basis vector.
+    ///
+    /// Fine for the small dimensions used here (BPTF factors).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for (r, v) in col.iter().enumerate() {
+                inv.set(r, c, *v);
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Log-determinant of the factored matrix `A`.
+    ///
+    /// `log det A = 2 * sum_i log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        let n = self.dim();
+        (0..n).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Applies the factor: computes `L x` (used when sampling
+    /// `mu + L z ~ N(mu, A)` with `A = L Lᵀ` a covariance).
+    pub fn apply_lower(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(MathError::DimensionMismatch {
+                op: "apply_lower",
+                expected: n,
+                got: x.len(),
+            });
+        }
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for k in 0..=i {
+                sum += self.l.get(i, k) * x[k];
+            }
+            *o = sum;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B is SPD.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.lower().clone();
+        let lt = l.transpose();
+        let rec = l.matmul(&lt).unwrap();
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let inv = ch.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(MathError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_lower_matches_matvec() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = vec![0.3, -1.2, 2.0];
+        let via_apply = ch.apply_lower(&x).unwrap();
+        let via_matvec = ch.lower().matvec(&x).unwrap();
+        for (u, v) in via_apply.iter().zip(via_matvec.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

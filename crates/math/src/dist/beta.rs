@@ -1,0 +1,98 @@
+//! Beta distribution.
+
+use super::gamma::Gamma;
+use crate::rng::Pcg64;
+use crate::special::ln_gamma;
+use crate::{MathError, Result};
+
+/// Beta distribution `Beta(alpha, beta)` on `(0, 1)`.
+///
+/// Used by the synthetic data generator to plant per-user mixing weights
+/// `lambda_u*`: news-like platforms draw from a Beta skewed toward 0
+/// (temporal-context driven) and movie-like platforms toward 1
+/// (interest driven), matching the paper's Figures 10–11.
+#[derive(Debug, Clone, Copy)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+    ga: Gamma,
+    gb: Gamma,
+}
+
+impl Beta {
+    /// Creates a beta distribution; both parameters must be positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(MathError::InvalidParameter { dist: "Beta", param: "alpha" });
+        }
+        if !(beta > 0.0) || !beta.is_finite() {
+            return Err(MathError::InvalidParameter { dist: "Beta", param: "beta" });
+        }
+        Ok(Beta {
+            alpha,
+            beta,
+            ga: Gamma::new(alpha, 1.0)?,
+            gb: Gamma::new(beta, 1.0)?,
+        })
+    }
+
+    /// Mean `alpha / (alpha + beta)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Draws one sample via the two-gamma construction.
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
+        let x = self.ga.sample(rng);
+        let y = self.gb.sample(rng);
+        x / (x + y)
+    }
+
+    /// Log density at `x` in `(0, 1)`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn samples_in_unit_interval() {
+        let dist = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = Pcg64::new(5);
+        for _ in 0..10_000 {
+            let x = dist.sample(&mut rng);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches() {
+        let dist = Beta::new(2.0, 6.0).unwrap();
+        let mut rng = Pcg64::new(6);
+        let n = 100_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn uniform_special_case_pdf() {
+        // Beta(1,1) is Uniform(0,1): ln pdf = 0 everywhere inside.
+        let dist = Beta::new(1.0, 1.0).unwrap();
+        assert!(dist.ln_pdf(0.3).abs() < 1e-12);
+        assert_eq!(dist.ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(dist.ln_pdf(1.0), f64::NEG_INFINITY);
+    }
+}

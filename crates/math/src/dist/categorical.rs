@@ -1,0 +1,185 @@
+//! Categorical sampling: linear-scan CDF and O(1) alias-table variants.
+
+use crate::rng::Pcg64;
+use crate::{MathError, Result};
+
+/// Categorical distribution sampled by inverse-CDF linear scan.
+///
+/// Construction normalizes the provided nonnegative weights. Appropriate
+/// for small supports or one-off draws; use [`AliasTable`] when the same
+/// distribution will be sampled many times (e.g., drawing millions of
+/// items from a topic in the synthetic generator).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical from nonnegative weights (normalized here).
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(MathError::InvalidParameter { dist: "Categorical", param: "weights.len" });
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(MathError::InvalidParameter { dist: "Categorical", param: "weights" });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(MathError::InvalidParameter { dist: "Categorical", param: "total" });
+        }
+        Ok(Categorical { probs: weights.iter().map(|w| w / total).collect() })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether there are no categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Normalized probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draws one category index.
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        let u = rng.next_f64();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        self.probs.len() - 1
+    }
+}
+
+/// Walker alias table for O(1) categorical sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from nonnegative weights.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        let cat = Categorical::new(weights)?;
+        let n = cat.len();
+        let mut prob: Vec<f64> = cat.probs().iter().map(|p| p * n as f64).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether there are no categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index in O(1).
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        let i = rng.gen_range(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn categorical_frequencies_match() {
+        let dist = Categorical::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut rng = Pcg64::new(20);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.01);
+        assert!((freqs[1] - 0.2).abs() < 0.01);
+        assert!((freqs[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn alias_frequencies_match() {
+        let weights = [5.0, 1.0, 3.0, 1.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = Pcg64::new(21);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (c, w) in counts.iter().zip(weights.iter()) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - w / total).abs() < 0.01, "freq={freq}, w={w}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let table = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = Pcg64::new(22);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let dist = Categorical::new(&[1.0, 0.0, 1.0]).unwrap();
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Pcg64::new(23);
+        for _ in 0..50_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+}

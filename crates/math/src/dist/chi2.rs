@@ -1,0 +1,64 @@
+//! Chi-squared distribution.
+
+use super::gamma::Gamma;
+use crate::rng::Pcg64;
+use crate::Result;
+
+/// Chi-squared distribution with `k` degrees of freedom.
+///
+/// Needed by the Bartlett decomposition in the Wishart sampler, where the
+/// diagonal entries of the Bartlett factor are `chi_{nu - i}` variables.
+/// Equivalent to `Gamma(k/2, 2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChiSquared {
+    k: f64,
+    gamma: Gamma,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution; `k` must be positive.
+    pub fn new(k: f64) -> Result<Self> {
+        Ok(ChiSquared { k, gamma: Gamma::new(k / 2.0, 2.0)? })
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.gamma.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nonpositive_dof() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn mean_equals_dof() {
+        let dist = ChiSquared::new(7.0).unwrap();
+        let mut rng = Pcg64::new(7);
+        let n = 100_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn variance_is_two_dof() {
+        let dist = ChiSquared::new(4.0).unwrap();
+        let mut rng = Pcg64::new(8);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var - 8.0).abs() < 0.3, "var={var}");
+    }
+}

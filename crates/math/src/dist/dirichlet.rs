@@ -1,0 +1,149 @@
+//! Dirichlet distribution over the probability simplex.
+
+use super::gamma::Gamma;
+use crate::rng::Pcg64;
+use crate::special::ln_gamma;
+use crate::{MathError, Result};
+
+/// Dirichlet distribution with concentration vector `alpha`.
+///
+/// Used to plant user interest distributions `theta_u*` in the synthetic
+/// generator and to draw randomized model initializations for EM.
+#[derive(Debug, Clone)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet; needs at least two components, all positive.
+    pub fn new(alpha: Vec<f64>) -> Result<Self> {
+        if alpha.len() < 2 {
+            return Err(MathError::InvalidParameter { dist: "Dirichlet", param: "alpha.len" });
+        }
+        if alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+            return Err(MathError::InvalidParameter { dist: "Dirichlet", param: "alpha" });
+        }
+        Ok(Dirichlet { alpha })
+    }
+
+    /// Symmetric Dirichlet with `k` components and concentration `a`.
+    pub fn symmetric(k: usize, a: f64) -> Result<Self> {
+        Dirichlet::new(vec![a; k])
+    }
+
+    /// Number of components.
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Draws one sample (a probability vector) via normalized gammas.
+    pub fn sample(&self, rng: &mut Pcg64) -> Vec<f64> {
+        let mut draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| {
+                Gamma::new(a, 1.0)
+                    .expect("alpha validated at construction")
+                    .sample(rng)
+            })
+            .collect();
+        let total: f64 = draws.iter().sum();
+        if total > 0.0 {
+            for d in &mut draws {
+                *d /= total;
+            }
+        } else {
+            // All gammas underflowed (tiny alphas): fall back to a
+            // one-hot on a uniformly chosen coordinate, the limiting
+            // behavior of a sparse Dirichlet.
+            let hot = rng.gen_range(draws.len());
+            for (i, d) in draws.iter_mut().enumerate() {
+                *d = if i == hot { 1.0 } else { 0.0 };
+            }
+        }
+        draws
+    }
+
+    /// Log density at a point `x` on the simplex.
+    pub fn ln_pdf(&self, x: &[f64]) -> f64 {
+        if x.len() != self.alpha.len() {
+            return f64::NEG_INFINITY;
+        }
+        let alpha0: f64 = self.alpha.iter().sum();
+        let mut lp = ln_gamma(alpha0);
+        for (&a, &xi) in self.alpha.iter().zip(x.iter()) {
+            if xi <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            lp += (a - 1.0) * xi.ln() - ln_gamma(a);
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn samples_on_simplex() {
+        let dist = Dirichlet::symmetric(5, 0.5).unwrap();
+        let mut rng = Pcg64::new(9);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert_eq!(x.len(), 5);
+            assert!(x.iter().all(|&v| v >= 0.0));
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_matches_alpha_proportions() {
+        let dist = Dirichlet::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut rng = Pcg64::new(10);
+        let n = 50_000;
+        let mut mean = [0.0; 3];
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            for (m, v) in mean.iter_mut().zip(x.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let expected = [1.0 / 6.0, 2.0 / 6.0, 3.0 / 6.0];
+        for (m, e) in mean.iter().zip(expected.iter()) {
+            assert!((m - e).abs() < 0.01, "mean={mean:?}");
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates() {
+        // With tiny symmetric alpha, samples should be near-one-hot.
+        let dist = Dirichlet::symmetric(10, 0.01).unwrap();
+        let mut rng = Pcg64::new(11);
+        let mut max_sum = 0.0;
+        let n = 1000;
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            max_sum += x.iter().cloned().fold(0.0, f64::max);
+        }
+        assert!(max_sum / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn ln_pdf_uniform_case() {
+        // Dirichlet(1,1,1) has density Gamma(3) = 2 over the simplex.
+        let dist = Dirichlet::symmetric(3, 1.0).unwrap();
+        let lp = dist.ln_pdf(&[0.2, 0.3, 0.5]);
+        assert!((lp - 2.0_f64.ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,26 @@
+//! Probability distributions implemented from first principles.
+//!
+//! Each distribution is a small struct validated at construction and
+//! sampled through an explicit [`crate::Pcg64`] so that every draw in the
+//! system is reproducible. Densities are provided where inference needs
+//! them.
+
+mod beta;
+mod categorical;
+mod chi2;
+mod dirichlet;
+mod gamma;
+mod mvn;
+mod normal;
+mod wishart;
+mod zipf;
+
+pub use beta::Beta;
+pub use categorical::{AliasTable, Categorical};
+pub use chi2::ChiSquared;
+pub use dirichlet::Dirichlet;
+pub use gamma::Gamma;
+pub use mvn::MultivariateNormal;
+pub use normal::Normal;
+pub use wishart::Wishart;
+pub use zipf::Zipf;

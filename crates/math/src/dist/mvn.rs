@@ -1,0 +1,153 @@
+//! Multivariate normal distribution.
+
+use super::normal::standard_normal;
+use crate::cholesky::Cholesky;
+use crate::rng::Pcg64;
+use crate::{Matrix, MathError, Result};
+
+/// Multivariate normal `N(mean, covariance)` with a precomputed Cholesky
+/// factor so that repeated sampling (as in BPTF's per-entity Gibbs
+/// updates) costs one triangular product per draw.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Creates an MVN from a mean vector and an SPD covariance matrix.
+    pub fn new(mean: Vec<f64>, covariance: &Matrix) -> Result<Self> {
+        if covariance.rows() != mean.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "MultivariateNormal::new",
+                expected: mean.len(),
+                got: covariance.rows(),
+            });
+        }
+        Ok(MultivariateNormal { mean, chol: Cholesky::new(covariance)? })
+    }
+
+    /// Creates an MVN parameterized by a precision matrix `Lambda`
+    /// (covariance `Lambda^{-1}`), the natural form in Gibbs samplers.
+    ///
+    /// Sampling uses the identity: if `Lambda = L Lᵀ` then
+    /// `x = mean + L^{-T} z` has covariance `Lambda^{-1}`.
+    pub fn from_precision(mean: Vec<f64>, precision: &Matrix) -> Result<PrecisionNormal> {
+        if precision.rows() != mean.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "MultivariateNormal::from_precision",
+                expected: mean.len(),
+                got: precision.rows(),
+            });
+        }
+        Ok(PrecisionNormal { mean, chol: Cholesky::new(precision)? })
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws one sample `mean + L z` where `z ~ N(0, I)`.
+    pub fn sample(&self, rng: &mut Pcg64) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.dim()).map(|_| standard_normal(rng)).collect();
+        let lz = self.chol.apply_lower(&z).expect("dim checked at construction");
+        self.mean.iter().zip(lz.iter()).map(|(m, v)| m + v).collect()
+    }
+}
+
+/// Multivariate normal parameterized by its precision matrix.
+#[derive(Debug, Clone)]
+pub struct PrecisionNormal {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl PrecisionNormal {
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws one sample: solves `Lᵀ y = z` so `y ~ N(0, Lambda^{-1})`.
+    pub fn sample(&self, rng: &mut Pcg64) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.dim()).map(|_| standard_normal(rng)).collect();
+        let y = self.chol.solve_upper(&z).expect("dim checked at construction");
+        self.mean.iter().zip(y.iter()).map(|(m, v)| m + v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cov(samples: &[Vec<f64>]) -> Matrix {
+        let n = samples.len();
+        let d = samples[0].len();
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for s in samples {
+            let centered: Vec<f64> = s.iter().zip(mean.iter()).map(|(v, m)| v - m).collect();
+            cov.rank_one_update(&centered, 1.0 / n as f64).unwrap();
+        }
+        cov
+    }
+
+    #[test]
+    fn covariance_recovered() {
+        let cov = Matrix::from_vec(2, 2, vec![2.0, 0.8, 0.8, 1.0]).unwrap();
+        let mvn = MultivariateNormal::new(vec![1.0, -1.0], &cov).unwrap();
+        let mut rng = Pcg64::new(30);
+        let samples: Vec<Vec<f64>> = (0..100_000).map(|_| mvn.sample(&mut rng)).collect();
+        let est = sample_cov(&samples);
+        assert!(est.max_abs_diff(&cov) < 0.05, "est={est:?}");
+    }
+
+    #[test]
+    fn precision_form_covariance() {
+        // precision = cov^{-1}; use cov = diag(4, 0.25) so precision = diag(0.25, 4).
+        let prec = Matrix::diag(&[0.25, 4.0]);
+        let pn = MultivariateNormal::from_precision(vec![0.0, 0.0], &prec).unwrap();
+        let mut rng = Pcg64::new(31);
+        let samples: Vec<Vec<f64>> = (0..100_000).map(|_| pn.sample(&mut rng)).collect();
+        let est = sample_cov(&samples);
+        let expected = Matrix::diag(&[4.0, 0.25]);
+        assert!(est.max_abs_diff(&expected) < 0.08, "est={est:?}");
+    }
+
+    #[test]
+    fn mean_recovered() {
+        let cov = Matrix::identity(3);
+        let mvn = MultivariateNormal::new(vec![5.0, -2.0, 0.5], &cov).unwrap();
+        let mut rng = Pcg64::new(32);
+        let n = 50_000;
+        let mut mean = vec![0.0; 3];
+        for _ in 0..n {
+            let s = mvn.sample(&mut rng);
+            for (m, v) in mean.iter_mut().zip(s.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        assert!((mean[0] - 5.0).abs() < 0.03);
+        assert!((mean[1] + 2.0).abs() < 0.03);
+        assert!((mean[2] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let cov = Matrix::identity(3);
+        assert!(MultivariateNormal::new(vec![0.0; 2], &cov).is_err());
+        assert!(MultivariateNormal::from_precision(vec![0.0; 4], &cov).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Univariate normal distribution.
+
+use crate::rng::Pcg64;
+use crate::{MathError, Result};
+
+/// Normal distribution `N(mean, std_dev^2)`.
+///
+/// Sampling uses the Marsaglia polar variant of Box–Muller with the spare
+/// value cached per call pair avoided (stateless draws keep reproducibility
+/// independent of call interleaving).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(MathError::InvalidParameter { dist: "Normal", param: "std_dev" });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// Mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Log probability density at `x`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+/// One draw from `N(0, 1)` via Marsaglia's polar method.
+pub fn standard_normal(rng: &mut Pcg64) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sample_moments() {
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = Pcg64::new(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.08, "var={var}");
+    }
+
+    #[test]
+    fn ln_pdf_standard_at_zero() {
+        let dist = Normal::standard();
+        let expected = -0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((dist.ln_pdf(0.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pdf_symmetric() {
+        let dist = Normal::new(1.0, 0.7).unwrap();
+        assert!((dist.ln_pdf(1.5) - dist.ln_pdf(0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Wishart distribution over SPD matrices.
+
+use super::chi2::ChiSquared;
+use super::normal::standard_normal;
+use crate::cholesky::Cholesky;
+use crate::rng::Pcg64;
+use crate::{Matrix, MathError, Result};
+
+/// Wishart distribution `W(scale, dof)` with mean `dof * scale`.
+///
+/// This is the conjugate prior over precision matrices used by BPTF's
+/// Gauss-Wishart hyperparameter updates. Sampling uses the Bartlett
+/// decomposition: with `scale = L Lᵀ`, a draw is `L A Aᵀ Lᵀ` where `A` is
+/// lower triangular with `A_ii ~ sqrt(chi²_{dof - i})` and
+/// `A_ij ~ N(0,1)` below the diagonal.
+#[derive(Debug, Clone)]
+pub struct Wishart {
+    dim: usize,
+    dof: f64,
+    scale_chol: Cholesky,
+    chi2s: Vec<ChiSquared>,
+}
+
+impl Wishart {
+    /// Creates a Wishart; requires `dof > dim - 1` and SPD `scale`.
+    pub fn new(scale: &Matrix, dof: f64) -> Result<Self> {
+        let dim = scale.rows();
+        if dof <= dim as f64 - 1.0 {
+            return Err(MathError::InvalidParameter { dist: "Wishart", param: "dof" });
+        }
+        let scale_chol = Cholesky::new(scale)?;
+        let chi2s = (0..dim)
+            .map(|i| ChiSquared::new(dof - i as f64))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Wishart { dim, dof, scale_chol, chi2s })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Draws one SPD matrix sample.
+    pub fn sample(&self, rng: &mut Pcg64) -> Matrix {
+        let d = self.dim;
+        // Bartlett factor A.
+        let mut a = Matrix::zeros(d, d);
+        for i in 0..d {
+            a.set(i, i, self.chi2s[i].sample(rng).sqrt());
+            for j in 0..i {
+                a.set(i, j, standard_normal(rng));
+            }
+        }
+        // L A (lower triangular product), then (LA)(LA)ᵀ.
+        let la = self
+            .scale_chol
+            .lower()
+            .matmul(&a)
+            .expect("square matrices of equal dim");
+        let mut out = la.matmul(&la.transpose()).expect("square");
+        out.symmetrize();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_low_dof() {
+        let scale = Matrix::identity(3);
+        assert!(Wishart::new(&scale, 1.5).is_err());
+        assert!(Wishart::new(&scale, 3.0).is_ok());
+    }
+
+    #[test]
+    fn mean_is_dof_times_scale() {
+        let scale = Matrix::from_vec(2, 2, vec![1.0, 0.3, 0.3, 0.5]).unwrap();
+        let dof = 5.0;
+        let w = Wishart::new(&scale, dof).unwrap();
+        let mut rng = Pcg64::new(40);
+        let n = 20_000;
+        let mut mean = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let s = w.sample(&mut rng);
+            mean.add_assign(&s).unwrap();
+        }
+        mean.scale(1.0 / n as f64);
+        let mut expected = scale.clone();
+        expected.scale(dof);
+        assert!(mean.max_abs_diff(&expected) < 0.1, "mean={mean:?}");
+    }
+
+    #[test]
+    fn samples_are_spd() {
+        let scale = Matrix::identity(4);
+        let w = Wishart::new(&scale, 6.0).unwrap();
+        let mut rng = Pcg64::new(41);
+        for _ in 0..200 {
+            let s = w.sample(&mut rng);
+            assert!(Cholesky::new(&s).is_ok(), "sample must be SPD");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_matches_chi2() {
+        // W(1, nu) in 1-D is chi²_nu.
+        let scale = Matrix::identity(1);
+        let w = Wishart::new(&scale, 5.0).unwrap();
+        let mut rng = Pcg64::new(42);
+        let n = 100_000;
+        let mean = (0..n).map(|_| w.sample(&mut rng).get(0, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Zipf (discrete power-law) distribution.
+
+use super::categorical::AliasTable;
+use crate::rng::Pcg64;
+use crate::{MathError, Result};
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ (r + 1)^{-s}`.
+///
+/// Social-media item popularity is famously heavy-tailed; the synthetic
+/// generators use Zipf popularity boosts so that "long-standing popular
+/// items" exist for the item-weighting scheme (Section 3.3 of the paper)
+/// to demote.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    weights: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(MathError::InvalidParameter { dist: "Zipf", param: "n" });
+        }
+        if !(s > 0.0) || !s.is_finite() {
+            return Err(MathError::InvalidParameter { dist: "Zipf", param: "s" });
+        }
+        let weights: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-s)).collect();
+        Ok(Zipf { table: AliasTable::new(&weights)?, weights })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no ranks (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Unnormalized rank weights `(r+1)^{-s}`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draws one rank in O(1).
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(5, 0.0).is_err());
+        assert!(Zipf::new(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn rank_zero_most_frequent() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = Pcg64::new(50);
+        let n = 100_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn ratio_follows_power_law() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = Pcg64::new(51);
+        let n = 500_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // P(0)/P(1) should be close to 2 for s = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,335 @@
+//! A minimal dense, row-major, `f64` matrix.
+//!
+//! Designed for the small factor dimensions used by BPTF (typically
+//! `D <= 64`), so the implementation favors clarity and predictable memory
+//! layout over blocked kernels. All operations that can fail on shape
+//! return [`MathError`] instead of panicking so callers can surface
+//! configuration mistakes gracefully.
+
+use crate::{MathError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector of values.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MathError::DimensionMismatch {
+                op: "Matrix::from_vec",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m.data[i * n + i] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MathError::DimensionMismatch {
+                op: "matmul",
+                expected: self.cols,
+                got: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "matvec",
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            *o = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Element-wise in-place addition `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MathError::DimensionMismatch {
+                op: "add_assign",
+                expected: self.data.len(),
+                got: other.data.len(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaling `self *= k`.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Rank-one update `self += k * x xᵀ` (for symmetric accumulation).
+    pub fn rank_one_update(&mut self, x: &[f64], k: f64) -> Result<()> {
+        if !self.is_square() || self.rows != x.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "rank_one_update",
+                expected: self.rows,
+                got: x.len(),
+            });
+        }
+        let n = self.rows;
+        for i in 0..n {
+            let xi = x[i] * k;
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[i * n..(i + 1) * n];
+            for (r, &xj) in row.iter_mut().zip(x.iter()) {
+                *r += xi * xj;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference between two matrices.
+    ///
+    /// Returns `f64::INFINITY` on shape mismatch so callers comparing for
+    /// approximate equality fail loudly.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        if self.rows != other.rows || self.cols != other.cols {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Symmetrizes the matrix in place: `self = (self + selfᵀ) / 2`.
+    ///
+    /// Useful before Cholesky to scrub accumulated floating point asymmetry.
+    pub fn symmetrize(&mut self) {
+        debug_assert!(self.is_square());
+        let n = self.rows;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
+                self.data[i * n + j] = avg;
+                self.data[j * n + i] = avg;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn rank_one_update_symmetric() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank_one_update(&[1.0, 2.0], 3.0).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(0, 1), 6.0);
+        assert_eq!(m.get(1, 0), 6.0);
+        assert_eq!(m.get(1, 1), 12.0);
+    }
+
+    #[test]
+    fn symmetrize_fixes_asymmetry() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 4.0, 1.0]).unwrap();
+        m.symmetrize();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn diag_constructs_diagonal() {
+        let d = Matrix::diag(&[1.0, 2.0]);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Special functions and numerically careful reductions.
+
+/// Natural log of the Gamma function via the Lanczos approximation
+/// (g = 7, n = 9 coefficients), accurate to ~1e-13 for `x > 0`.
+#[allow(clippy::excessive_precision)] // Lanczos table kept at source precision
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Gamma(x) Gamma(1-x) = pi / sin(pi x)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function (derivative of `ln_gamma`) via the asymptotic series
+/// with recurrence shifting; accurate to ~1e-12 for `x > 0`.
+pub fn digamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut result = 0.0;
+    // Shift up until the asymptotic expansion is accurate.
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+/// Numerically stable `log(sum_i exp(x_i))`.
+///
+/// Returns negative infinity for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Shannon entropy (nats) of a probability vector; ignores zero entries.
+pub fn entropy(p: &[f64]) -> f64 {
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.ln())
+        .sum::<f64>()
+}
+
+/// KL divergence `KL(p || q)` in nats.
+///
+/// Returns infinity if `p` puts mass where `q` does not.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        kl += pi * (pi / qi).ln();
+    }
+    kl
+}
+
+/// Logistic sigmoid, computed stably for large negative inputs.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n) = (n-1)!
+        let facts = [1.0_f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let n = (i + 1) as f64;
+            assert!((ln_gamma(n) - f.ln()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_recurrence() {
+        // psi(x+1) = psi(x) + 1/x
+        for &x in &[0.3, 1.0, 2.5, 7.0, 20.0] {
+            let lhs = digamma(x + 1.0);
+            let rhs = digamma(x) + 1.0 / x;
+            assert!((lhs - rhs).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn digamma_one_is_negative_euler() {
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + EULER).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let xs = [1000.0, 1000.0];
+        let lse = log_sum_exp(&xs);
+        assert!((lse - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        let p = [1.0, 0.0, 0.0];
+        assert_eq!(entropy(&p), 0.0);
+    }
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_nonnegative() {
+        let p = [0.1, 0.9];
+        let q = [0.5, 0.5];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-30.0, -1.0, 0.0, 2.0, 50.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(1000.0) <= 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bounded top-k selection.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An `(index, score)` pair ordered by score (then index for determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Identifier of the scored object (e.g., an item index).
+    pub index: usize,
+    /// The ranking score.
+    pub score: f64,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: compare scores, break ties by index so results are
+        // deterministic. NaNs are treated as smallest.
+        match self.score.partial_cmp(&other.score) {
+            Some(Ordering::Equal) | None => other.index.cmp(&self.index),
+            Some(ord) => ord,
+        }
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded collector that keeps the `k` highest-scoring entries seen.
+///
+/// Backed by a min-heap of size at most `k`; pushing is `O(log k)` and the
+/// common case of a score below the current threshold is `O(1)`.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<std::cmp::Reverse<Scored>>,
+}
+
+impl TopK {
+    /// Creates a collector for the top `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Number of entries currently held (`<= k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the collector holds `k` entries.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current k-th best score, or `None` until `k` entries are held.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.is_full() {
+            self.heap.peek().map(|r| r.0.score)
+        } else {
+            None
+        }
+    }
+
+    /// Offers an entry; it is kept only if it beats the current k-th best.
+    pub fn push(&mut self, index: usize, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Scored { index, score };
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(entry));
+        } else if let Some(min) = self.heap.peek() {
+            if entry > min.0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(entry));
+            }
+        }
+    }
+
+    /// Consumes the collector and returns entries sorted best-first.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut entries: Vec<Scored> = self.heap.into_iter().map(|r| r.0).collect();
+        entries.sort_by(|a, b| b.cmp(a));
+        entries
+    }
+}
+
+/// Convenience: top-k of a dense score slice, best-first.
+pub fn top_k_of_slice(scores: &[f64], k: usize) -> Vec<Scored> {
+    let mut collector = TopK::new(k);
+    for (i, &s) in scores.iter().enumerate() {
+        collector.push(i, s);
+    }
+    collector.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_highest_k() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        let top = top_k_of_slice(&scores, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].index, 1);
+        assert_eq!(top[1].index, 3);
+    }
+
+    #[test]
+    fn sorted_best_first() {
+        let scores = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let top = top_k_of_slice(&scores, 5);
+        let got: Vec<usize> = top.iter().map(|s| s.index).collect();
+        assert_eq!(got, vec![3, 4, 0, 2, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_input() {
+        let top = top_k_of_slice(&[1.0, 2.0], 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].index, 1);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let top = top_k_of_slice(&[1.0, 2.0], 0);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_lower_index() {
+        let top = top_k_of_slice(&[1.0, 1.0, 1.0], 2);
+        assert_eq!(top[0].index, 0);
+        assert_eq!(top[1].index, 1);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut collector = TopK::new(2);
+        assert_eq!(collector.threshold(), None);
+        collector.push(0, 1.0);
+        assert_eq!(collector.threshold(), None);
+        collector.push(1, 3.0);
+        assert_eq!(collector.threshold(), Some(1.0));
+        collector.push(2, 2.0);
+        assert_eq!(collector.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        let mut rng = crate::rng::Pcg64::new(60);
+        for _ in 0..20 {
+            let scores: Vec<f64> = (0..100).map(|_| rng.next_f64()).collect();
+            let top = top_k_of_slice(&scores, 10);
+            let mut full: Vec<Scored> = scores
+                .iter()
+                .enumerate()
+                .map(|(index, &score)| Scored { index, score })
+                .collect();
+            full.sort_by(|a, b| b.cmp(a));
+            for (a, b) in top.iter().zip(full.iter().take(10)) {
+                assert_eq!(a.index, b.index);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Small vector utilities used by the inference code.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise (Hadamard) product into a new vector.
+#[inline]
+pub fn hadamard(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).collect()
+}
+
+/// `out += k * x`, in place.
+#[inline]
+pub fn axpy(out: &mut [f64], x: &[f64], k: f64) {
+    debug_assert_eq!(out.len(), x.len());
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o += k * v;
+    }
+}
+
+/// Sum of a slice.
+#[inline]
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Normalizes a nonnegative slice in place to sum to one.
+///
+/// If the total mass is zero (or not finite), falls back to the uniform
+/// distribution — the standard guard in EM implementations so an empty
+/// sufficient-statistics row cannot poison the next iteration with NaNs.
+pub fn normalize_in_place(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let total: f64 = xs.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= total;
+        }
+    } else {
+        let u = 1.0 / xs.len() as f64;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Returns a normalized copy of a nonnegative slice.
+pub fn normalized(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    normalize_in_place(&mut out);
+    out
+}
+
+/// True when the slice is a probability distribution within `tol`.
+pub fn is_distribution(xs: &[f64], tol: f64) -> bool {
+    if xs.iter().any(|&x| x < -tol || !x.is_finite()) {
+        return false;
+    }
+    (xs.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .fold(None, |best, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when either sample has zero variance or fewer than two
+/// points.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = sum(a) / n;
+    let mb = sum(b) / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Empirical cumulative distribution function evaluated on a grid.
+///
+/// Returns `(grid, cdf)` where `cdf[i]` is the fraction of samples
+/// `<= grid[i]`. Used for the paper's Figures 10 and 11 (lambda CDFs).
+pub fn empirical_cdf(samples: &[f64], grid_points: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in CDF input"));
+    let n = sorted.len();
+    let mut grid = Vec::with_capacity(grid_points);
+    let mut cdf = Vec::with_capacity(grid_points);
+    for i in 0..grid_points {
+        let x = i as f64 / (grid_points - 1).max(1) as f64;
+        let count = sorted.partition_point(|&v| v <= x);
+        grid.push(x);
+        cdf.push(if n == 0 { 0.0 } else { count as f64 / n as f64 });
+    }
+    (grid, cdf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn hadamard_known() {
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_known() {
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, &[2.0, 3.0], 2.0);
+        assert_eq!(out, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut xs = vec![2.0, 2.0, 4.0];
+        normalize_in_place(&mut xs);
+        assert_eq!(xs, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalize_zero_mass_falls_back_to_uniform() {
+        let mut xs = vec![0.0, 0.0];
+        normalize_in_place(&mut xs);
+        assert_eq!(xs, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_empty_is_noop() {
+        let mut xs: Vec<f64> = vec![];
+        normalize_in_place(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn is_distribution_checks() {
+        assert!(is_distribution(&[0.5, 0.5], 1e-9));
+        assert!(!is_distribution(&[0.5, 0.6], 1e-9));
+        assert!(!is_distribution(&[1.5, -0.5], 1e-9));
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let r = pearson(&a, &b).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_anti_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let r = pearson(&a, &b).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn empirical_cdf_monotone_and_bounded() {
+        let samples = [0.1, 0.2, 0.2, 0.9];
+        let (grid, cdf) = empirical_cdf(&samples, 11);
+        assert_eq!(grid.len(), 11);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+    }
+}

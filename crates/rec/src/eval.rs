@@ -1,0 +1,404 @@
+//! The experiment harness: temporal top-k evaluation over a train/test
+//! split, exactly as in Section 5.3.1 of the paper.
+//!
+//! Every `(user, interval)` group with held-out items becomes one query
+//! `q = (u, t)`; the scorer ranks the catalog (minus that group's
+//! training items), and the ranked list is graded against the held-out
+//! items with [`crate::metrics`]. Reports average the metrics over all
+//! queries; cross-validation averages reports over folds.
+
+use crate::metrics::{metrics_at_k, RankingMetrics};
+use crate::scorer::TemporalScorer;
+use std::time::{Duration, Instant};
+use tcam_data::{Split, TimeId, UserId};
+
+/// Which known-positive items to remove from the candidate set of a
+/// query `(u, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcludePolicy {
+    /// Keep every item rankable (no exclusion).
+    None,
+    /// Exclude the training items of the same `(u, t)` group only.
+    SameInterval,
+    /// Exclude all of the user's training items from any interval — the
+    /// standard top-k protocol: never re-recommend something already
+    /// consumed. Test items the user also rated in another interval are
+    /// kept rankable.
+    AllUserItems,
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Largest cutoff; metrics are reported for every `k in 1..=k_max`.
+    pub k_max: usize,
+    /// Which known positives to drop from the candidate set.
+    pub exclude: ExcludePolicy,
+    /// Worker threads for query evaluation.
+    pub num_threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { k_max: 10, exclude: ExcludePolicy::AllUserItems, num_threads: 1 }
+    }
+}
+
+/// Averaged metrics at one cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsAtK {
+    /// The cutoff.
+    pub k: usize,
+    /// Mean Precision@k.
+    pub precision: f64,
+    /// Mean Recall@k.
+    pub recall: f64,
+    /// Mean F1@k.
+    pub f1: f64,
+    /// Mean NDCG@k.
+    pub ndcg: f64,
+    /// Mean average precision@k.
+    pub map: f64,
+    /// Mean reciprocal rank@k.
+    pub mrr: f64,
+    /// Fraction of queries with at least one hit in the top-k.
+    pub hit_rate: f64,
+}
+
+/// An evaluation report for one scorer on one split.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// The scorer's display name.
+    pub model: String,
+    /// Metrics per cutoff, `k = 1..=k_max`.
+    pub per_k: Vec<MetricsAtK>,
+    /// Number of `(u, t)` queries evaluated.
+    pub num_queries: usize,
+    /// Wall time spent scoring and ranking (excludes grading).
+    pub query_time: Duration,
+}
+
+impl EvalReport {
+    /// Metrics at a specific cutoff (1-based), if within range.
+    pub fn at(&self, k: usize) -> Option<&MetricsAtK> {
+        self.per_k.get(k.checked_sub(1)?)
+    }
+
+    /// Mean per-query scoring time in microseconds.
+    pub fn mean_query_micros(&self) -> f64 {
+        if self.num_queries == 0 {
+            return 0.0;
+        }
+        self.query_time.as_secs_f64() * 1e6 / self.num_queries as f64
+    }
+
+    /// Renders one table row per k: `k  P  NDCG  F1`.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{} ({} queries, {:.1} us/query)\n  k   P@k     NDCG@k  F1@k    Rec@k\n",
+            self.model,
+            self.num_queries,
+            self.mean_query_micros()
+        );
+        for m in &self.per_k {
+            out.push_str(&format!(
+                "  {:<3} {:.4}  {:.4}  {:.4}  {:.4}\n",
+                m.k, m.precision, m.ndcg, m.f1, m.recall
+            ));
+        }
+        out
+    }
+}
+
+/// One temporal query: a `(u, t)` group with held-out relevant items.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Querying user.
+    pub user: UserId,
+    /// Query interval.
+    pub time: TimeId,
+    /// Held-out relevant items (sorted ascending).
+    pub relevant: Vec<usize>,
+    /// Items to exclude from candidates (the group's training items,
+    /// sorted ascending).
+    pub excluded: Vec<usize>,
+}
+
+/// Extracts all queries from a split.
+pub fn queries_of_split(split: &Split, policy: ExcludePolicy) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for u in 0..split.test.num_users() {
+        let user = UserId::from(u);
+        let entries = split.test.user_entries(user);
+        let mut start = 0usize;
+        while start < entries.len() {
+            let t = entries[start].time;
+            let mut end = start + 1;
+            while end < entries.len() && entries[end].time == t {
+                end += 1;
+            }
+            let relevant: Vec<usize> =
+                entries[start..end].iter().map(|r| r.item.index()).collect();
+            let mut excluded: Vec<usize> = match policy {
+                ExcludePolicy::None => Vec::new(),
+                ExcludePolicy::SameInterval => split
+                    .train
+                    .user_entries(user)
+                    .iter()
+                    .filter(|r| r.time == t)
+                    .map(|r| r.item.index())
+                    .collect(),
+                ExcludePolicy::AllUserItems => split
+                    .train
+                    .user_entries(user)
+                    .iter()
+                    .map(|r| r.item.index())
+                    .collect(),
+            };
+            excluded.sort_unstable();
+            excluded.dedup();
+            // Never exclude an item we are grading on: a test item the
+            // user also rated in training (another interval) must stay
+            // rankable or the query is unwinnable by construction.
+            excluded.retain(|v| relevant.binary_search(v).is_err());
+            queries.push(Query { user, time: t, relevant, excluded });
+            start = end;
+        }
+    }
+    queries
+}
+
+/// Evaluates a scorer over all queries of a split.
+pub fn evaluate<S: TemporalScorer + ?Sized>(
+    scorer: &S,
+    split: &Split,
+    config: &EvalConfig,
+) -> EvalReport {
+    let queries = queries_of_split(split, config.exclude);
+    evaluate_queries(scorer, &queries, config)
+}
+
+/// Evaluates a scorer over a precomputed query set.
+pub fn evaluate_queries<S: TemporalScorer + ?Sized>(
+    scorer: &S,
+    queries: &[Query],
+    config: &EvalConfig,
+) -> EvalReport {
+    let k_max = config.k_max.max(1);
+    let threads = config.num_threads.max(1).min(queries.len().max(1));
+
+    let chunk_size = queries.len().div_ceil(threads);
+    let partials: Vec<(Vec<RankingMetrics>, usize, Duration)> = if threads <= 1 {
+        vec![eval_chunk(scorer, queries, k_max)]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move |_| eval_chunk(scorer, chunk, k_max)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed")
+    };
+
+    let mut sums = vec![RankingMetrics::default(); k_max];
+    let mut num_queries = 0usize;
+    let mut query_time = Duration::ZERO;
+    for (partial, count, time) in partials {
+        for (acc, m) in sums.iter_mut().zip(partial.iter()) {
+            acc.precision += m.precision;
+            acc.recall += m.recall;
+            acc.f1 += m.f1;
+            acc.ndcg += m.ndcg;
+            acc.average_precision += m.average_precision;
+            acc.reciprocal_rank += m.reciprocal_rank;
+            acc.hit_rate += m.hit_rate;
+        }
+        num_queries += count;
+        query_time += time;
+    }
+
+    let n = num_queries.max(1) as f64;
+    let per_k = sums
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| MetricsAtK {
+            k: i + 1,
+            precision: m.precision / n,
+            recall: m.recall / n,
+            f1: m.f1 / n,
+            ndcg: m.ndcg / n,
+            map: m.average_precision / n,
+            mrr: m.reciprocal_rank / n,
+            hit_rate: m.hit_rate / n,
+        })
+        .collect();
+
+    EvalReport { model: scorer.name().to_string(), per_k, num_queries, query_time }
+}
+
+/// Evaluates one chunk of queries, returning per-k metric *sums*.
+fn eval_chunk<S: TemporalScorer + ?Sized>(
+    scorer: &S,
+    queries: &[Query],
+    k_max: usize,
+) -> (Vec<RankingMetrics>, usize, Duration) {
+    let mut sums = vec![RankingMetrics::default(); k_max];
+    let mut buffer = vec![0.0; scorer.num_items()];
+    let mut elapsed = Duration::ZERO;
+    for q in queries {
+        let start = Instant::now();
+        scorer.score_all(q.user, q.time, &mut buffer);
+        for &v in &q.excluded {
+            buffer[v] = f64::NEG_INFINITY;
+        }
+        let ranked_scored = tcam_math::topk::top_k_of_slice(&buffer, k_max);
+        elapsed += start.elapsed();
+        let ranked: Vec<usize> = ranked_scored.iter().map(|s| s.index).collect();
+        for (i, acc) in sums.iter_mut().enumerate() {
+            let m = metrics_at_k(&ranked, &q.relevant, i + 1);
+            acc.precision += m.precision;
+            acc.recall += m.recall;
+            acc.f1 += m.f1;
+            acc.ndcg += m.ndcg;
+            acc.average_precision += m.average_precision;
+            acc.reciprocal_rank += m.reciprocal_rank;
+            acc.hit_rate += m.hit_rate;
+        }
+    }
+    (sums, queries.len(), elapsed)
+}
+
+/// Averages reports across folds (same model, same `k_max`).
+pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
+    assert!(!reports.is_empty(), "need at least one report");
+    let k_max = reports[0].per_k.len();
+    let n = reports.len() as f64;
+    let per_k = (0..k_max)
+        .map(|i| {
+            let mut m = MetricsAtK {
+                k: i + 1,
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+                ndcg: 0.0,
+                map: 0.0,
+                mrr: 0.0,
+                hit_rate: 0.0,
+            };
+            for r in reports {
+                let x = &r.per_k[i];
+                m.precision += x.precision / n;
+                m.recall += x.recall / n;
+                m.f1 += x.f1 / n;
+                m.ndcg += x.ndcg / n;
+                m.map += x.map / n;
+                m.mrr += x.mrr / n;
+                m.hit_rate += x.hit_rate / n;
+            }
+            m
+        })
+        .collect();
+    EvalReport {
+        model: reports[0].model.clone(),
+        per_k,
+        num_queries: reports.iter().map(|r| r.num_queries).sum(),
+        query_time: reports.iter().map(|r| r.query_time).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_baselines::MostPopular;
+    use tcam_data::{train_test_split, synth};
+    use tcam_math::Pcg64;
+
+    fn split_of_tiny(seed: u64) -> Split {
+        let data = synth::SynthDataset::generate(synth::tiny(seed)).unwrap();
+        train_test_split(&data.cuboid, 0.2, &mut Pcg64::new(seed))
+    }
+
+    #[test]
+    fn queries_cover_test_entries() {
+        let split = split_of_tiny(1);
+        let queries = queries_of_split(&split, ExcludePolicy::SameInterval);
+        let total: usize = queries.iter().map(|q| q.relevant.len()).sum();
+        assert_eq!(total, split.test.nnz());
+        for q in &queries {
+            assert!(!q.relevant.is_empty());
+            assert!(q.relevant.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        }
+    }
+
+    #[test]
+    fn excluded_items_disjoint_from_relevant() {
+        let split = split_of_tiny(2);
+        for q in queries_of_split(&split, ExcludePolicy::AllUserItems) {
+            for v in &q.relevant {
+                assert!(q.excluded.binary_search(v).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_eval_produces_sane_report() {
+        let split = split_of_tiny(3);
+        let model = MostPopular::fit(&split.train);
+        let report = evaluate(&model, &split, &EvalConfig::default());
+        assert_eq!(report.per_k.len(), 10);
+        assert!(report.num_queries > 0);
+        for m in &report.per_k {
+            assert!((0.0..=1.0).contains(&m.precision));
+            assert!((0.0..=1.0).contains(&m.ndcg));
+            assert!((0.0..=1.0).contains(&m.f1));
+        }
+        // Recall at larger k dominates recall at smaller k.
+        assert!(report.per_k[9].recall >= report.per_k[0].recall);
+        // Hit rate is monotone in k.
+        assert!(report.per_k[9].hit_rate >= report.per_k[0].hit_rate);
+    }
+
+    #[test]
+    fn parallel_eval_matches_serial() {
+        let split = split_of_tiny(4);
+        let model = MostPopular::fit(&split.train);
+        let serial = evaluate(&model, &split, &EvalConfig::default());
+        let parallel = evaluate(
+            &model,
+            &split,
+            &EvalConfig { num_threads: 4, ..EvalConfig::default() },
+        );
+        assert_eq!(serial.num_queries, parallel.num_queries);
+        for (a, b) in serial.per_k.iter().zip(parallel.per_k.iter()) {
+            assert!((a.ndcg - b.ndcg).abs() < 1e-12);
+            assert!((a.precision - b.precision).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_reports_averages() {
+        let split = split_of_tiny(5);
+        let model = MostPopular::fit(&split.train);
+        let r = evaluate(&model, &split, &EvalConfig::default());
+        let avg = average_reports(&[r.clone(), r.clone()]);
+        assert!((avg.per_k[4].ndcg - r.per_k[4].ndcg).abs() < 1e-12);
+        assert_eq!(avg.num_queries, 2 * r.num_queries);
+    }
+
+    #[test]
+    fn report_table_renders() {
+        let split = split_of_tiny(6);
+        let model = MostPopular::fit(&split.train);
+        let r = evaluate(&model, &split, &EvalConfig { k_max: 3, ..EvalConfig::default() });
+        let table = r.to_table();
+        assert!(table.contains("MostPopular"));
+        assert!(table.lines().count() >= 5);
+        assert!(r.at(3).is_some());
+        assert!(r.at(4).is_none());
+        assert!(r.at(0).is_none());
+    }
+}

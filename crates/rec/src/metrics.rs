@@ -1,0 +1,179 @@
+//! Ranking metrics (Section 5.3.1 of the paper).
+//!
+//! A recommended item is a "hit" if it is in the query's held-out test
+//! set. Precision@k, NDCG@k, and F1@k are exactly the paper's
+//! definitions (binary relevance); MAP, MRR, and HitRate are standard
+//! additions used by the extended analyses.
+
+/// All metrics of one query at one cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankingMetrics {
+    /// Hits among the top-k.
+    pub hits: usize,
+    /// `hits / k`.
+    pub precision: f64,
+    /// `hits / |relevant|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// Normalized discounted cumulative gain with binary gains.
+    pub ndcg: f64,
+    /// Average precision truncated at k.
+    pub average_precision: f64,
+    /// Reciprocal of the first hit's rank (0 if no hit in top-k).
+    pub reciprocal_rank: f64,
+    /// 1.0 if any hit in the top-k, else 0.0.
+    pub hit_rate: f64,
+}
+
+/// Computes metrics for a ranked list against a *sorted* slice of
+/// relevant item ids.
+///
+/// `ranked` is best-first. `relevant` must be sorted ascending and
+/// deduplicated (binary membership tests). `k = 0` or empty `relevant`
+/// yields all-zero metrics.
+pub fn metrics_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> RankingMetrics {
+    if k == 0 || relevant.is_empty() {
+        return RankingMetrics::default();
+    }
+    let k_eff = k.min(ranked.len());
+    let mut hits = 0usize;
+    let mut dcg = 0.0;
+    let mut ap_sum = 0.0;
+    let mut first_hit_rank = None;
+    // Each relevant item is creditable at most once, so a defective
+    // ranked list containing duplicates cannot inflate recall past 1.
+    let mut credited = vec![false; relevant.len()];
+    for (i, &item) in ranked.iter().take(k_eff).enumerate() {
+        if let Ok(slot) = relevant.binary_search(&item) {
+            if credited[slot] {
+                continue;
+            }
+            credited[slot] = true;
+            hits += 1;
+            dcg += 1.0 / ((i + 2) as f64).log2();
+            ap_sum += hits as f64 / (i + 1) as f64;
+            if first_hit_rank.is_none() {
+                first_hit_rank = Some(i + 1);
+            }
+        }
+    }
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+    let precision = hits as f64 / k as f64;
+    let recall = hits as f64 / relevant.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    RankingMetrics {
+        hits,
+        precision,
+        recall,
+        f1,
+        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
+        average_precision: ap_sum / ideal_hits.max(1) as f64,
+        reciprocal_rank: first_hit_rank.map(|r| 1.0 / r as f64).unwrap_or(0.0),
+        hit_rate: if hits > 0 { 1.0 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_all_ones() {
+        let ranked = [3, 1, 4];
+        let relevant = [1, 3, 4];
+        let m = metrics_at_k(&ranked, &relevant, 3);
+        assert_eq!(m.hits, 3);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert!((m.f1 - 1.0).abs() < 1e-12);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+        assert!((m.average_precision - 1.0).abs() < 1e-12);
+        assert!((m.reciprocal_rank - 1.0).abs() < 1e-12);
+        assert_eq!(m.hit_rate, 1.0);
+    }
+
+    #[test]
+    fn no_hits_is_all_zero() {
+        let m = metrics_at_k(&[5, 6, 7], &[1, 2], 3);
+        assert_eq!(m, RankingMetrics::default());
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Top-4: [hit, miss, hit, miss]; 3 relevant items total.
+        let ranked = [1, 9, 2, 8];
+        let relevant = [1, 2, 3];
+        let m = metrics_at_k(&ranked, &relevant, 4);
+        assert_eq!(m.hits, 2);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0);
+        assert!((m.f1 - expected_f1).abs() < 1e-12);
+        // DCG = 1/log2(2) + 1/log2(4); IDCG = 1/log2(2)+1/log2(3)+1/log2(4)
+        let dcg = 1.0 + 0.5;
+        let idcg = 1.0 + 1.0 / 3.0_f64.log2() + 0.5;
+        assert!((m.ndcg - dcg / idcg).abs() < 1e-12);
+        // AP = (1/1 + 2/3) / min(3,4)
+        assert!((m.average_precision - (1.0 + 2.0 / 3.0) / 3.0).abs() < 1e-12);
+        assert!((m.reciprocal_rank - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_hit_later_in_list() {
+        let m = metrics_at_k(&[9, 9, 2], &[2], 3);
+        assert!((m.reciprocal_rank - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.hit_rate, 1.0);
+    }
+
+    #[test]
+    fn k_zero_and_empty_relevant() {
+        assert_eq!(metrics_at_k(&[1, 2], &[1], 0), RankingMetrics::default());
+        assert_eq!(metrics_at_k(&[1, 2], &[], 5), RankingMetrics::default());
+    }
+
+    #[test]
+    fn k_beyond_ranked_length() {
+        let m = metrics_at_k(&[1], &[1, 2], 10);
+        assert_eq!(m.hits, 1);
+        assert!((m.precision - 0.1).abs() < 1e-12, "precision uses the nominal k");
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_ranked_items_counted_once() {
+        let m = metrics_at_k(&[9, 9, 9], &[9], 3);
+        assert_eq!(m.hits, 1);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        // Exhaustive-ish sweep of tiny cases keeps every metric in [0,1].
+        for k in 1..5 {
+            for rel_mask in 0u32..32 {
+                let relevant: Vec<usize> =
+                    (0..5).filter(|i| rel_mask & (1 << i) != 0).collect();
+                let ranked = [4usize, 2, 0, 3, 1];
+                let m = metrics_at_k(&ranked, &relevant, k);
+                for value in [
+                    m.precision,
+                    m.recall,
+                    m.f1,
+                    m.ndcg,
+                    m.average_precision,
+                    m.reciprocal_rank,
+                    m.hit_rate,
+                ] {
+                    assert!((0.0..=1.0 + 1e-12).contains(&value), "{m:?}");
+                }
+            }
+        }
+    }
+}

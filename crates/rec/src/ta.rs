@@ -1,0 +1,301 @@
+//! Top-k retrieval: the Threshold Algorithm of Section 4.2 (Algorithm 1)
+//! and the brute-force scan it is evaluated against (TCAM-BF).
+//!
+//! Offline, [`TaIndex::build`] materializes one item list per latent
+//! factor, sorted by the factor's item weight `phi_z[v]` descending. At
+//! query time the algorithm repeatedly consumes the most promising list
+//! head (a priority queue keyed by the head item's *full* ranking
+//! score), maintains the top-k result list, and stops as soon as the
+//! k-th best score exceeds the threshold
+//! `S_TA = sum_z vartheta_q[z] * max_{v in L_z} phi_z[v]` (Eq. 23) — the
+//! best score any unseen item could still achieve, by monotonicity.
+
+use crate::scorer::{FactoredScorer, TemporalScorer};
+use tcam_data::{TimeId, UserId};
+use tcam_math::topk::{Scored, TopK};
+
+/// Precomputed per-factor sorted item lists.
+#[derive(Debug, Clone)]
+pub struct TaIndex {
+    /// `sorted[z]` = item ids ordered by `phi_z[v]` descending.
+    sorted: Vec<Vec<u32>>,
+    num_items: usize,
+}
+
+impl TaIndex {
+    /// Builds the index: `O(K * V log V)` offline work.
+    pub fn build<S: FactoredScorer>(scorer: &S) -> Self {
+        let num_items = scorer.num_items();
+        let sorted = (0..scorer.num_factors())
+            .map(|z| {
+                let weights = scorer.factor_items(z);
+                let mut ids: Vec<u32> = (0..num_items as u32).collect();
+                ids.sort_by(|&a, &b| {
+                    weights[b as usize]
+                        .partial_cmp(&weights[a as usize])
+                        .expect("factor weights are finite")
+                        .then(a.cmp(&b))
+                });
+                ids
+            })
+            .collect();
+        TaIndex { sorted, num_items }
+    }
+
+    /// Number of factor lists.
+    pub fn num_lists(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Catalog size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Answers a temporal top-k query with early termination.
+    pub fn top_k<S: FactoredScorer>(
+        &self,
+        scorer: &S,
+        user: UserId,
+        time: TimeId,
+        k: usize,
+    ) -> TaResult {
+        let active = scorer.query_factors(user, time);
+        debug_assert_eq!(self.sorted.len(), scorer.num_factors());
+
+        // Per active list: cursor position and the scorer row.
+        struct ListState<'a> {
+            items: &'a [u32],
+            weights: &'a [f64],
+            query_weight: f64,
+            cursor: usize,
+        }
+        let mut lists: Vec<ListState<'_>> = active
+            .iter()
+            .map(|&(z, w)| ListState {
+                items: &self.sorted[z],
+                weights: scorer.factor_items(z),
+                query_weight: w,
+                cursor: 0,
+            })
+            .collect();
+
+        let full_score = |v: usize, lists: &[ListState<'_>]| -> f64 {
+            lists.iter().map(|l| l.query_weight * l.weights[v]).sum()
+        };
+
+        // Threshold contributions: query_weight * phi at each list head.
+        let mut head_contrib: Vec<f64> = lists
+            .iter()
+            .map(|l| {
+                l.items
+                    .first()
+                    .map(|&v| l.query_weight * l.weights[v as usize])
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let mut threshold: f64 = head_contrib.iter().sum();
+
+        // Priority queue over lists keyed by the head item's full score
+        // (Algorithm 1 lines 2–6).
+        let mut pq = std::collections::BinaryHeap::new();
+        for (li, l) in lists.iter().enumerate() {
+            if let Some(&head) = l.items.first() {
+                pq.push(Scored { index: li, score: full_score(head as usize, &lists) });
+            }
+        }
+
+        let mut seen = vec![false; self.num_items];
+        let mut result = TopK::new(k);
+        let mut examined = 0usize;
+
+        while let Some(best) = pq.pop() {
+            let li = best.index;
+            let (v, score) = {
+                let l = &mut lists[li];
+                if l.cursor >= l.items.len() {
+                    continue;
+                }
+                let v = l.items[l.cursor] as usize;
+                l.cursor += 1;
+                (v, best.score)
+            };
+
+            if !seen[v] {
+                seen[v] = true;
+                examined += 1;
+                result.push(v, score);
+            }
+
+            // Advance this list's threshold contribution and re-enqueue.
+            {
+                let l = &lists[li];
+                let new_contrib = if l.cursor < l.items.len() {
+                    l.query_weight * l.weights[l.items[l.cursor] as usize]
+                } else {
+                    0.0
+                };
+                threshold += new_contrib - head_contrib[li];
+                head_contrib[li] = new_contrib;
+                if l.cursor < l.items.len() {
+                    let head = l.items[l.cursor] as usize;
+                    pq.push(Scored { index: li, score: full_score(head, &lists) });
+                }
+            }
+
+            // Early termination (Algorithm 1 lines 18–21 / Eq. 23): no
+            // unseen item can beat the current k-th best.
+            if let Some(kth) = result.threshold() {
+                if kth >= threshold {
+                    break;
+                }
+            }
+        }
+
+        TaResult { items: result.into_sorted(), items_examined: examined }
+    }
+}
+
+/// Result of a TA query.
+#[derive(Debug, Clone)]
+pub struct TaResult {
+    /// Top items, best first.
+    pub items: Vec<Scored>,
+    /// Distinct items whose full score was computed — the quantity TA
+    /// minimizes relative to the `V` of a brute-force scan.
+    pub items_examined: usize,
+}
+
+/// Brute-force top-k (TCAM-BF / the only option for BPTF): score every
+/// item and keep the best `k`. `buffer` must have length `num_items` and
+/// is reused across queries to avoid per-query allocation.
+pub fn brute_force_top_k<S: TemporalScorer + ?Sized>(
+    scorer: &S,
+    user: UserId,
+    time: TimeId,
+    k: usize,
+    buffer: &mut [f64],
+) -> Vec<Scored> {
+    scorer.score_all(user, time, buffer);
+    tcam_math::topk::top_k_of_slice(buffer, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::{FitConfig, ItcamModel, TtcamModel};
+    use tcam_data::synth;
+
+    fn assert_topk_equivalent(ta: &[Scored], bf: &[Scored]) {
+        assert_eq!(ta.len(), bf.len());
+        for (a, b) in ta.iter().zip(bf.iter()) {
+            // Scores must match to floating tolerance; items may differ
+            // only where scores tie.
+            assert!(
+                (a.score - b.score).abs() < 1e-10,
+                "rank score mismatch: {} vs {}",
+                a.score,
+                b.score
+            );
+        }
+    }
+
+    #[test]
+    fn ta_matches_brute_force_ttcam() {
+        let data = synth::SynthDataset::generate(synth::tiny(90)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(8);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let mut buffer = vec![0.0; model.num_items()];
+        for u in 0..10 {
+            for t in 0..4 {
+                let (user, time) = (UserId(u), TimeId(t));
+                for k in [1, 5, 10] {
+                    let ta = index.top_k(&model, user, time, k);
+                    let bf = brute_force_top_k(&model, user, time, k, &mut buffer);
+                    assert_topk_equivalent(&ta.items, &bf);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ta_matches_brute_force_itcam() {
+        let data = synth::SynthDataset::generate(synth::tiny(91)).unwrap();
+        let config = FitConfig::default().with_user_topics(4).with_iterations(8);
+        let model = ItcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let mut buffer = vec![0.0; model.num_items()];
+        for u in 0..10 {
+            let (user, time) = (UserId(u), TimeId(u % 8));
+            let ta = index.top_k(&model, user, time, 5);
+            let bf = brute_force_top_k(&model, user, time, 5, &mut buffer);
+            assert_topk_equivalent(&ta.items, &bf);
+        }
+    }
+
+    #[test]
+    fn ta_examines_fewer_items_than_catalog() {
+        let data = synth::SynthDataset::generate(synth::tiny(92)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(8);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let mut total_examined = 0usize;
+        let mut queries = 0usize;
+        for u in 0..20 {
+            let result = index.top_k(&model, UserId(u), TimeId(1), 5);
+            total_examined += result.items_examined;
+            queries += 1;
+        }
+        let avg = total_examined as f64 / queries as f64;
+        assert!(
+            avg < model.num_items() as f64,
+            "TA should not examine the full catalog on average (avg {avg})"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_catalog() {
+        let data = synth::SynthDataset::generate(synth::tiny(93)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(3)
+            .with_time_topics(2)
+            .with_iterations(3);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let result = index.top_k(&model, UserId(0), TimeId(0), 10_000);
+        assert_eq!(result.items.len(), model.num_items());
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let data = synth::SynthDataset::generate(synth::tiny(94)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(3)
+            .with_time_topics(2)
+            .with_iterations(3);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let result = index.top_k(&model, UserId(0), TimeId(0), 0);
+        assert!(result.items.is_empty());
+    }
+
+    #[test]
+    fn index_shape_matches_model() {
+        let data = synth::SynthDataset::generate(synth::tiny(95)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(3)
+            .with_time_topics(2)
+            .with_iterations(2);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        assert_eq!(index.num_lists(), 6, "K1 + K2 + background");
+        assert_eq!(index.num_items(), model.num_items());
+    }
+}

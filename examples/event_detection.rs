@@ -1,0 +1,85 @@
+//! Event detection in a tagging system (Delicious-like scenario):
+//! uses W-TTCAM's time-oriented topics to surface bursty events and
+//! shows how the item-weighting scheme (Section 3.3 of the paper)
+//! cleans them up — the qualitative story of the paper's Figure 2,
+//! Figure 5, and Table 5, with planted ground truth to check against.
+//!
+//! ```sh
+//! cargo run --release -p tcam --example event_detection
+//! ```
+
+use tcam::core::inspect::{
+    best_matching_time_topic, profile_burstiness, time_topic_summaries, top_items,
+    topic_peak_interval,
+};
+use tcam::prelude::*;
+
+fn main() {
+    let seed = 17;
+    println!("generating a delicious-like tagging dataset...");
+    let data = SynthDataset::generate(tcam::data::synth::delicious_like(0.2, seed))
+        .expect("generation");
+
+    let config = FitConfig::default()
+        .with_user_topics(10)
+        .with_time_topics(15)
+        .with_iterations(30)
+        .with_seed(seed);
+
+    println!("fitting TTCAM (unweighted) and W-TTCAM (weighted)...");
+    let weighting = ItemWeighting::compute(&data.cuboid);
+    let weighted = weighting.apply(&data.cuboid);
+    let plain = TtcamModel::fit(&data.cuboid, &config).expect("ttcam").model;
+    let wtt = TtcamModel::fit(&weighted, &config).expect("wttcam").model;
+
+    // The planted headline event is what a real system would be trying
+    // to discover.
+    let event = data
+        .truth
+        .events
+        .iter()
+        .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite"))
+        .expect("events planted");
+    println!(
+        "\nplanted headline event: {} peaking at interval {}, core tags {:?}",
+        event.name,
+        event.center,
+        event.core_items.iter().map(|i| format!("{i}")).collect::<Vec<_>>()
+    );
+
+    for (name, model) in [("TTCAM", &plain), ("W-TTCAM", &wtt)] {
+        let (topic, mass) = best_matching_time_topic(model, &event.core_items);
+        let peak = topic_peak_interval(model, topic);
+        let top = top_items(model.time_topic(topic), 6);
+        let core_hits = top
+            .iter()
+            .filter(|(item, _)| event.core_items.contains(item))
+            .count();
+        println!(
+            "\n{name}: best-matching time-topic-{topic} (core mass {mass:.3}) peaks at \
+             interval {} — {core_hits}/6 top tags are true event tags:",
+            peak.index()
+        );
+        for (item, p) in top {
+            let marker = if event.core_items.contains(&item) { " <-- event tag" } else { "" };
+            println!("  {item} (p = {p:.3}){marker}");
+        }
+    }
+
+    // Rank all discovered time topics by burstiness — an event monitor
+    // would alert on the spiky ones.
+    println!("\ndiscovered time-oriented topics by burstiness (W-TTCAM):");
+    let mut summaries = time_topic_summaries(&wtt, 4);
+    summaries.sort_by(|a, b| {
+        profile_burstiness(&b.profile)
+            .partial_cmp(&profile_burstiness(&a.profile))
+            .expect("finite")
+    });
+    for s in summaries.iter().take(5) {
+        println!("  {:<14} {:>5.1}x  {}", s.label, profile_burstiness(&s.profile), s.to_line());
+    }
+    println!(
+        "\ntakeaway (paper Table 5): the weighting scheme promotes co-bursting salient \
+         tags over always-popular ones, so W-TTCAM's event topics read like the event."
+    );
+}

@@ -1,0 +1,83 @@
+//! Low-latency serving: the Threshold Algorithm (Section 4.2 of the
+//! paper) versus the brute-force scan on a large catalog, with the
+//! examined-items accounting that explains *why* TA wins.
+//!
+//! ```sh
+//! cargo run --release -p tcam --example fast_recommendation
+//! ```
+
+use std::time::Instant;
+use tcam::prelude::*;
+use tcam::rec::brute_force_top_k;
+
+fn main() {
+    let seed = 19;
+    println!("generating a douban-like dataset (large catalog)...");
+    let data = SynthDataset::generate(tcam::data::synth::douban_like(0.5, seed))
+        .expect("generation");
+    println!("catalog: {} items", data.cuboid.num_items());
+
+    let config = FitConfig::default()
+        .with_user_topics(15)
+        .with_time_topics(8)
+        .with_iterations(10)
+        .with_seed(seed);
+    println!("fitting TTCAM...");
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+
+    // One-off offline cost: K presorted item lists.
+    let start = Instant::now();
+    let index = TaIndex::build(&model);
+    println!(
+        "built TA index: {} lists over {} items in {:.1} ms\n",
+        index.num_lists(),
+        index.num_items(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let mut rng = Pcg64::new(seed);
+    let queries: Vec<(UserId, TimeId)> = (0..300)
+        .map(|_| {
+            (
+                UserId::from(rng.gen_range(data.cuboid.num_users())),
+                TimeId::from(rng.gen_range(data.cuboid.num_times())),
+            )
+        })
+        .collect();
+
+    println!("k    TA        brute-force   TA items examined (of {})", index.num_items());
+    let mut buffer = vec![0.0; model.num_items()];
+    for k in [1usize, 5, 10, 20] {
+        // Correctness first: identical top-k scores on a spot check.
+        let (u, t) = queries[0];
+        let ta = index.top_k(&model, u, t, k);
+        let bf = brute_force_top_k(&model, u, t, k, &mut buffer);
+        for (a, b) in ta.items.iter().zip(bf.iter()) {
+            assert!((a.score - b.score).abs() < 1e-10, "TA must equal brute force");
+        }
+
+        let start = Instant::now();
+        let mut examined = 0usize;
+        for &(u, t) in &queries {
+            examined += index.top_k(&model, u, t, k).items_examined;
+        }
+        let ta_time = start.elapsed() / queries.len() as u32;
+
+        let start = Instant::now();
+        for &(u, t) in &queries {
+            std::hint::black_box(brute_force_top_k(&model, u, t, k, &mut buffer));
+        }
+        let bf_time = start.elapsed() / queries.len() as u32;
+
+        println!(
+            "{k:<4} {:>7.1} us {:>9.1} us   {:.0}",
+            ta_time.as_secs_f64() * 1e6,
+            bf_time.as_secs_f64() * 1e6,
+            examined as f64 / queries.len() as f64
+        );
+    }
+    println!(
+        "\ntakeaway (paper Fig. 8): TA returns the exact same top-k while examining a \
+         fraction of the catalog, and its advantage grows with catalog size."
+    );
+}

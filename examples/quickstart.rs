@@ -1,0 +1,61 @@
+//! Quickstart: generate data, fit W-TTCAM, and produce temporal top-k
+//! recommendations.
+//!
+//! ```sh
+//! cargo run --release -p tcam --example quickstart
+//! ```
+
+use tcam::prelude::*;
+
+fn main() {
+    // 1. A synthetic social-media dataset (see tcam_data::synth for the
+    //    planted generative process; swap in your own RatingCuboid to
+    //    use real logs).
+    let data = SynthDataset::generate(tcam::data::synth::tiny(7)).expect("generation");
+    println!("{}", DatasetStats::compute(&data.cuboid).to_report("quickstart"));
+
+    // 2. Per-(user, interval) 80/20 split, as in the paper's Section 5.3.1.
+    let split = train_test_split(&data.cuboid, 0.2, &mut Pcg64::new(7));
+
+    // 3. W-TTCAM = item-weighting transform (Section 3.3) + TTCAM fit.
+    let weighting = ItemWeighting::compute(&split.train);
+    let weighted = weighting.apply(&split.train);
+    let config = FitConfig::default()
+        .with_user_topics(6)
+        .with_time_topics(4)
+        .with_iterations(25)
+        .with_seed(7);
+    let fit = TtcamModel::fit(&weighted, &config).expect("fit");
+    println!(
+        "\nfitted W-TTCAM in {} EM iterations (final log-likelihood {:.1}, converged: {})",
+        fit.iterations(),
+        fit.final_log_likelihood(),
+        fit.converged
+    );
+    let model = fit.model;
+
+    // 4. Who is this user? Mixing weight + dominant interest topic.
+    let user = UserId(3);
+    let time = TimeId(4);
+    println!(
+        "\nuser {user}: lambda = {:.2} (interest-driven share of behavior)",
+        model.lambda(user)
+    );
+
+    // 5. Temporal top-k with the Threshold Algorithm (Section 4.2).
+    let index = TaIndex::build(&model);
+    let result = index.top_k(&model, user, time, 5);
+    println!("top-5 recommendations for ({user}, {time}):");
+    for scored in &result.items {
+        println!("  item v{} with score {:.4}", scored.index, scored.score);
+    }
+    println!(
+        "TA examined {} of {} items before terminating",
+        result.items_examined,
+        model.num_items()
+    );
+
+    // 6. Evaluate against the held-out 20%.
+    let report = evaluate(&model, &split, &EvalConfig::default());
+    println!("\n{}", report.to_table());
+}

@@ -1,0 +1,29 @@
+#!/bin/bash
+# Regenerates every table/figure report. Outputs land in reports/.
+set -u
+cd "$(dirname "$0")/.."
+run() {
+  name=$1; shift
+  echo "=== $name $* ==="
+  timeout 1200 cargo run --release -p tcam-bench --bin "$name" -- "$@" \
+    > "reports/$name.txt" 2> >(grep -v '^\[' >&2 || true)
+  echo "--- $name done (exit $?)"
+}
+run table2_datasets scale=0.5 seed=1
+run fig2_topic_profiles scale=0.3 seed=1
+run fig5_bursty_items scale=0.3 seed=1
+run fig6_digg_accuracy scale=0.25 folds=2 seed=1 k1=12 k2=15 iters=40
+run fig7_movielens_accuracy scale=0.25 folds=2 seed=1 k1=12 k2=10 iters=40
+run table3_interval_length scale=0.15 seed=1 k1=12 k2=10 iters=25
+run fig9_topic_count scale=0.15 seed=1 iters=20
+run fig8_query_efficiency scale=1.0 seed=1 iters=8 queries=150
+run table4_training_time scale=0.5 seed=1 iters=30
+run fig10_11_lambda_cdf scale=0.25 seed=1 iters=30
+run table5_event_topic scale=0.3 seed=1 iters=30
+run table6_year_topic scale=0.3 seed=1 iters=30
+run table7_topic_comparison scale=0.3 seed=1 iters=30
+run ablation_weighting scale=0.12 seed=3
+run ablation_topic_quality scale=0.25 k2=16 seed=5
+run ablation_fixed_mixture scale=0.2 seed=3
+run oracle_ceilings scale=0.2 seed=3
+echo ALL_DONE

@@ -1,0 +1,197 @@
+//! Failure injection and degenerate-input hardening: empty datasets,
+//! single users/items/intervals, all-identical behavior, extreme
+//! weights. The system must either work or fail with a typed error —
+//! never panic and never emit NaNs.
+
+use tcam::prelude::*;
+
+fn single_cell_cuboid() -> RatingCuboid {
+    RatingCuboid::from_ratings(
+        1,
+        1,
+        2,
+        vec![Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: 1.0 }],
+    )
+    .expect("valid")
+}
+
+#[test]
+fn empty_cuboid_rejected_by_all_models() {
+    let empty = RatingCuboid::from_ratings(3, 3, 3, vec![]).expect("valid but empty");
+    assert!(TtcamModel::fit(&empty, &FitConfig::default()).is_err());
+    assert!(ItcamModel::fit(&empty, &FitConfig::default()).is_err());
+    assert!(UserTopicModel::fit(&empty, &UtConfig::default()).is_err());
+    assert!(TimeTopicModel::fit(&empty, &TtConfig::default()).is_err());
+    assert!(Bprmf::fit(&empty, &BprmfConfig::default()).is_err());
+    assert!(Bptf::fit(&empty, &BptfConfig::default()).is_err());
+}
+
+#[test]
+fn single_cell_dataset_fits_without_nans() {
+    let c = single_cell_cuboid();
+    let config = FitConfig::default()
+        .with_user_topics(2)
+        .with_time_topics(2)
+        .with_iterations(5);
+    let model = TtcamModel::fit(&c, &config).expect("degenerate fit should work").model;
+    let mut scores = vec![0.0; 2];
+    model.predict_all(UserId(0), TimeId(0), &mut scores);
+    assert!(scores.iter().all(|s| s.is_finite()));
+    let lam = model.lambda(UserId(0));
+    assert!((0.0..=1.0).contains(&lam));
+}
+
+#[test]
+fn more_topics_than_items_is_survivable() {
+    let c = single_cell_cuboid();
+    let config = FitConfig::default()
+        .with_user_topics(10)
+        .with_time_topics(10)
+        .with_iterations(3);
+    let model = TtcamModel::fit(&c, &config).expect("over-parameterized fit").model;
+    assert!(model.predict(UserId(0), TimeId(0), 0).is_finite());
+}
+
+#[test]
+fn weighting_handles_unanimous_popularity() {
+    // Every user rates the single item in every interval: iuf = 0
+    // everywhere, so all weights collapse — the floor in map_values
+    // must keep the cuboid usable and the fit finite.
+    let mut ratings = Vec::new();
+    for u in 0..4u32 {
+        for t in 0..3u32 {
+            ratings.push(Rating {
+                user: UserId(u),
+                time: TimeId(t),
+                item: ItemId(0),
+                value: 1.0,
+            });
+        }
+    }
+    let c = RatingCuboid::from_ratings(4, 3, 2, ratings).expect("valid");
+    let weighted = ItemWeighting::compute(&c).apply(&c);
+    assert_eq!(weighted.nnz(), c.nnz());
+    assert!(weighted.total_mass() > 0.0);
+    let config = FitConfig::default()
+        .with_user_topics(2)
+        .with_time_topics(2)
+        .with_iterations(5);
+    let model = TtcamModel::fit(&weighted, &config).expect("fit on floored cuboid").model;
+    assert!(model.log_likelihood(&c).is_finite());
+}
+
+#[test]
+fn users_with_no_ratings_keep_neutral_lambda() {
+    // User 2 never rates anything; they must keep the initial lambda
+    // and still receive finite recommendations (cold start).
+    let ratings = vec![
+        Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: 1.0 },
+        Rating { user: UserId(0), time: TimeId(1), item: ItemId(1), value: 1.0 },
+        Rating { user: UserId(1), time: TimeId(0), item: ItemId(1), value: 1.0 },
+    ];
+    let c = RatingCuboid::from_ratings(3, 2, 3, ratings).expect("valid");
+    let config = FitConfig::default()
+        .with_user_topics(2)
+        .with_time_topics(2)
+        .with_iterations(10);
+    let model = TtcamModel::fit(&c, &config).expect("fit").model;
+    assert_eq!(model.lambda(UserId(2)), 0.5, "cold user keeps the neutral prior");
+    let mut scores = vec![0.0; 3];
+    model.predict_all(UserId(2), TimeId(0), &mut scores);
+    assert!(scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn evaluation_with_empty_test_side() {
+    // A split where every (u, t) group is a singleton puts everything
+    // in train; evaluation must return an empty-but-valid report.
+    let c = single_cell_cuboid();
+    let split = train_test_split(&c, 0.2, &mut Pcg64::new(1));
+    assert_eq!(split.test.nnz(), 0);
+    let model = MostPopular::fit(&split.train);
+    let report = tcam::rec::evaluate(&model, &split, &EvalConfig::default());
+    assert_eq!(report.num_queries, 0);
+    assert!(report.per_k.iter().all(|m| m.ndcg == 0.0));
+}
+
+#[test]
+fn extreme_rating_values_stay_finite() {
+    let ratings = vec![
+        Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: 1e12 },
+        Rating { user: UserId(1), time: TimeId(0), item: ItemId(1), value: 1e-12 },
+        Rating { user: UserId(1), time: TimeId(1), item: ItemId(0), value: 3.0 },
+    ];
+    let c = RatingCuboid::from_ratings(2, 2, 2, ratings).expect("valid");
+    let config = FitConfig::default()
+        .with_user_topics(2)
+        .with_time_topics(2)
+        .with_iterations(10);
+    let fit = TtcamModel::fit(&c, &config).expect("fit");
+    assert!(fit.final_log_likelihood().is_finite());
+    for w in fit.trace.windows(2) {
+        assert!(w[1].log_likelihood >= w[0].log_likelihood - 1e-6);
+    }
+}
+
+#[test]
+fn invalid_ratings_rejected_with_typed_errors() {
+    let bad_value = RatingCuboid::from_ratings(
+        1,
+        1,
+        1,
+        vec![Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: -1.0 }],
+    );
+    assert!(matches!(bad_value, Err(tcam::data::DataError::InvalidRating { .. })));
+
+    let bad_id = RatingCuboid::from_ratings(
+        1,
+        1,
+        1,
+        vec![Rating { user: UserId(5), time: TimeId(0), item: ItemId(0), value: 1.0 }],
+    );
+    assert!(matches!(bad_id, Err(tcam::data::DataError::IdOutOfRange { .. })));
+}
+
+#[test]
+fn bprmf_user_who_rated_everything() {
+    // User 0 has rated the full catalog: BPR cannot sample a negative
+    // for them; training must still terminate and stay finite.
+    let mut ratings = Vec::new();
+    for v in 0..3u32 {
+        ratings.push(Rating { user: UserId(0), time: TimeId(0), item: ItemId(v), value: 1.0 });
+    }
+    ratings.push(Rating { user: UserId(1), time: TimeId(0), item: ItemId(0), value: 1.0 });
+    let c = RatingCuboid::from_ratings(2, 1, 3, ratings).expect("valid");
+    let model = Bprmf::fit(
+        &c,
+        &BprmfConfig { num_epochs: 5, ..BprmfConfig::default() },
+    )
+    .expect("fit must terminate");
+    assert!(model.predict(UserId(0), 0).is_finite());
+}
+
+#[test]
+fn ta_on_cold_interval() {
+    // Query an interval with no training data at all: TA must still
+    // return k items with finite scores.
+    let data = SynthDataset::generate(tcam::data::synth::tiny(50)).expect("gen");
+    let config = FitConfig::default()
+        .with_user_topics(3)
+        .with_time_topics(2)
+        .with_iterations(5);
+    // Drop all entries of interval 0 to make it cold.
+    let keep: Vec<usize> = data
+        .cuboid
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.time != TimeId(0))
+        .map(|(i, _)| i)
+        .collect();
+    let cold = data.cuboid.subset(&keep);
+    let model = TtcamModel::fit(&cold, &config).expect("fit").model;
+    let index = TaIndex::build(&model);
+    let result = index.top_k(&model, UserId(0), TimeId(0), 5);
+    assert_eq!(result.items.len(), 5);
+    assert!(result.items.iter().all(|s| s.score.is_finite()));
+}

@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) on the system's core invariants.
+
+use proptest::prelude::*;
+use tcam::prelude::*;
+use tcam_data::io;
+
+/// Strategy: a random rating list within small dimension bounds.
+fn ratings_strategy(
+    users: usize,
+    times: usize,
+    items: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..users as u32, 0..times as u32, 0..items as u32, 0.0f64..5.0),
+        0..max_len,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(u, t, v, value)| Rating {
+                user: UserId(u),
+                time: TimeId(t),
+                item: ItemId(v),
+                value,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn cuboid_invariants(ratings in ratings_strategy(6, 4, 8, 60)) {
+        let positive_mass: f64 = ratings.iter().map(|r| r.value).sum();
+        let cuboid = RatingCuboid::from_ratings(6, 4, 8, ratings).unwrap();
+
+        // Mass is conserved through dedup (zero cells dropped).
+        prop_assert!((cuboid.total_mass() - positive_mass).abs() < 1e-9);
+
+        // User-major and time-major views partition the same cells.
+        let by_user: usize = (0..6).map(|u| cuboid.user_nnz(UserId(u))).sum();
+        let by_time: usize = (0..4).map(|t| cuboid.time_nnz(TimeId(t))).sum();
+        prop_assert_eq!(by_user, cuboid.nnz());
+        prop_assert_eq!(by_time, cuboid.nnz());
+
+        // Entries are strictly sorted by (user, time, item) — dedup holds.
+        for w in cuboid.entries().windows(2) {
+            let a = (w[0].user, w[0].time, w[0].item);
+            let b = (w[1].user, w[1].time, w[1].item);
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn coarsen_preserves_mass_and_users(
+        ratings in ratings_strategy(5, 12, 6, 50),
+        factor in 1usize..15,
+    ) {
+        let cuboid = RatingCuboid::from_ratings(5, 12, 6, ratings).unwrap();
+        let coarse = cuboid.coarsen_time(factor);
+        prop_assert!((coarse.total_mass() - cuboid.total_mass()).abs() < 1e-9);
+        prop_assert_eq!(coarse.num_users(), cuboid.num_users());
+        prop_assert_eq!(coarse.num_times(), cuboid.num_times().div_ceil(factor));
+        for u in 0..5 {
+            // Coarsening can only merge a user's cells, never lose them.
+            prop_assert!(coarse.user_nnz(UserId(u)) <= cuboid.user_nnz(UserId(u)));
+            let before: f64 = cuboid.user_entries(UserId(u)).iter().map(|r| r.value).sum();
+            let after: f64 = coarse.user_entries(UserId(u)).iter().map(|r| r.value).sum();
+            prop_assert!((before - after).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighting_invariants(ratings in ratings_strategy(6, 4, 8, 80)) {
+        let cuboid = RatingCuboid::from_ratings(6, 4, 8, ratings).unwrap();
+        let w = ItemWeighting::compute(&cuboid);
+        for v in 0..8 {
+            let item = ItemId(v);
+            // iuf is log(N / N(v)) with N(v) <= N: nonnegative.
+            prop_assert!(w.iuf(item) >= -1e-12);
+            for t in 0..4 {
+                let time = TimeId(t);
+                // Per-interval audiences are subsets of the overall one.
+                prop_assert!(w.item_user_count_at(item, time) <= w.item_user_count(item).max(1));
+                prop_assert!(w.bursty_degree(item, time) >= 0.0);
+                prop_assert!(w.weight(item, time).is_finite());
+            }
+        }
+        // The weighted cuboid preserves the sparsity pattern.
+        let weighted = w.apply(&cuboid);
+        prop_assert_eq!(weighted.nnz(), cuboid.nnz());
+    }
+
+    #[test]
+    fn split_partitions_any_cuboid(
+        ratings in ratings_strategy(6, 4, 8, 80),
+        frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let cuboid = RatingCuboid::from_ratings(6, 4, 8, ratings).unwrap();
+        let split = train_test_split(&cuboid, frac, &mut Pcg64::new(seed));
+        prop_assert_eq!(split.train.nnz() + split.test.nnz(), cuboid.nnz());
+        prop_assert!((split.train.total_mass() + split.test.total_mass()
+            - cuboid.total_mass()).abs() < 1e-9);
+        // No (u, t, v) cell appears on both sides.
+        for r in split.test.entries() {
+            prop_assert_eq!(split.train.get(r.user, r.time, r.item), 0.0);
+        }
+    }
+
+    #[test]
+    fn cv_folds_partition_any_cuboid(
+        ratings in ratings_strategy(5, 3, 6, 60),
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let cuboid = RatingCuboid::from_ratings(5, 3, 6, ratings).unwrap();
+        let cv = CrossValidation::new(&cuboid, k, &mut Pcg64::new(seed));
+        let total_test: usize = cv.folds().map(|s| s.test.nnz()).sum();
+        prop_assert_eq!(total_test, cuboid.nnz());
+    }
+
+    #[test]
+    fn topk_matches_full_sort(scores in prop::collection::vec(-1e6f64..1e6, 0..200), k in 0usize..30) {
+        let top = tcam::math::topk::top_k_of_slice(&scores, k);
+        let mut sorted: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        prop_assert_eq!(top.len(), k.min(scores.len()));
+        for (a, (idx, score)) in top.iter().zip(sorted.iter()) {
+            prop_assert_eq!(a.index, *idx);
+            prop_assert_eq!(a.score, *score);
+        }
+    }
+
+    #[test]
+    fn metrics_always_bounded(
+        ranked in prop::collection::vec(0usize..30, 0..20),
+        relevant_raw in prop::collection::vec(0usize..30, 0..10),
+        k in 0usize..25,
+    ) {
+        let mut relevant = relevant_raw;
+        relevant.sort_unstable();
+        relevant.dedup();
+        let m = tcam::rec::metrics_at_k(&ranked, &relevant, k);
+        for value in [m.precision, m.recall, m.f1, m.ndcg, m.average_precision,
+                      m.reciprocal_rank, m.hit_rate] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&value), "{:?}", m);
+        }
+        prop_assert!(m.hits <= k.min(ranked.len()));
+    }
+
+    #[test]
+    fn normalize_is_idempotent_distribution(
+        raw in prop::collection::vec(0.0f64..100.0, 1..40),
+    ) {
+        let mut xs = raw;
+        tcam::math::vecops::normalize_in_place(&mut xs);
+        prop_assert!(tcam::math::vecops::is_distribution(&xs, 1e-9));
+        let before = xs.clone();
+        tcam::math::vecops::normalize_in_place(&mut xs);
+        for (a, b) in xs.iter().zip(before.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+// Expensive properties: fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn em_log_likelihood_monotone_on_random_data(seed in 0u64..10_000) {
+        let mut cfg = tcam::data::synth::tiny(seed);
+        cfg.num_users = 25;
+        cfg.num_items = 20;
+        cfg.num_intervals = 4;
+        cfg.mean_ratings_per_user = 12.0;
+        let data = SynthDataset::generate(cfg).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(3)
+            .with_time_topics(2)
+            .with_iterations(15)
+            .with_seed(seed);
+        for trace in [
+            TtcamModel::fit(&data.cuboid, &config).unwrap().trace,
+            ItcamModel::fit(&data.cuboid, &config).unwrap().trace,
+        ] {
+            for w in trace.windows(2) {
+                prop_assert!(
+                    w[1].log_likelihood >= w[0].log_likelihood - 1e-7,
+                    "EM decreased: {} -> {}", w[0].log_likelihood, w[1].log_likelihood
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ta_equals_brute_force_random_models(seed in 0u64..10_000) {
+        let mut cfg = tcam::data::synth::tiny(seed);
+        cfg.num_users = 30;
+        cfg.num_items = 40;
+        let data = SynthDataset::generate(cfg).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(4)
+            .with_seed(seed);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let index = TaIndex::build(&model);
+        let mut buffer = vec![0.0; model.num_items()];
+        for u in [0usize, 7, 19] {
+            let user = UserId::from(u);
+            let time = TimeId::from((seed % 8) as usize);
+            let ta = index.top_k(&model, user, time, 7);
+            let bf = tcam::rec::brute_force_top_k(&model, user, time, 7, &mut buffer);
+            for (a, b) in ta.items.iter().zip(bf.iter()) {
+                prop_assert!((a.score - b.score).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cuboid_json_round_trip(ratings in ratings_strategy(4, 3, 5, 40)) {
+        let cuboid = RatingCuboid::from_ratings(4, 3, 5, ratings).unwrap();
+        let dir = std::env::temp_dir().join("tcam-prop-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("c{}.json", std::process::id()));
+        io::save_cuboid(&cuboid, &path).unwrap();
+        let back = io::load_cuboid(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.entries(), cuboid.entries());
+    }
+}

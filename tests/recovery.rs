@@ -1,0 +1,195 @@
+//! Model-recovery tests: something only a synthetic-data reproduction
+//! can check. The generator plants a TCAM-like ground truth; fitting
+//! TCAM on the generated cuboid should recover it.
+
+#![allow(clippy::needless_range_loop)]
+
+use tcam::prelude::*;
+use tcam_math::vecops::pearson;
+
+/// Fits W-TTCAM on a dataset and returns (recovered lambdas of active
+/// users, planted lambdas of the same users).
+fn fit_and_pair_lambdas(data: &SynthDataset, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let config = FitConfig::default()
+        .with_user_topics(data.config.num_user_topics)
+        .with_time_topics(data.config.num_events)
+        .with_iterations(40)
+        .with_threads(2)
+        .with_seed(seed);
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+    let active = data.cuboid.active_users();
+    let recovered: Vec<f64> = active.iter().map(|&u| model.lambda(u)).collect();
+    let planted: Vec<f64> =
+        active.iter().map(|&u| data.truth.lambda[u.index()]).collect();
+    (recovered, planted)
+}
+
+#[test]
+fn lambda_recovery_correlates_with_truth() {
+    let mut cfg = tcam::data::synth::tiny(31);
+    cfg.num_users = 300;
+    cfg.mean_ratings_per_user = 60.0;
+    cfg.lambda_alpha = 1.5;
+    cfg.lambda_beta = 1.5;
+    cfg.event_activity_boost = 2.0;
+    cfg.event_popular_tail = 0.1;
+    let data = SynthDataset::generate(cfg).expect("generation");
+    let (recovered, planted) = fit_and_pair_lambdas(&data, 31);
+    let r = pearson(&recovered, &planted).expect("non-degenerate");
+    eprintln!("lambda recovery correlation: {r:.3}");
+    assert!(
+        r > 0.3,
+        "recovered lambda should correlate with planted lambda, got r = {r:.3}"
+    );
+}
+
+#[test]
+fn lambda_recovery_separates_platforms() {
+    // Same model, two platforms: mean recovered lambda must be higher
+    // on the interest-driven platform (the paper's Fig. 10 vs Fig. 11).
+    let movie = SynthDataset::generate(tcam::data::synth::movielens_like(0.08, 32))
+        .expect("generation");
+    let news =
+        SynthDataset::generate(tcam::data::synth::digg_like(0.08, 32)).expect("generation");
+    let (movie_lambda, _) = fit_and_pair_lambdas(&movie, 32);
+    let (news_lambda, _) = fit_and_pair_lambdas(&news, 32);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let m = mean(&movie_lambda);
+    let n = mean(&news_lambda);
+    eprintln!("mean recovered lambda: movie {m:.3} vs news {n:.3}");
+    assert!(
+        m > n + 0.15,
+        "movie-like users must be recovered as more interest-driven ({m:.3} vs {n:.3})"
+    );
+}
+
+#[test]
+fn event_peak_interval_recovered() {
+    // The best-matching time topics of the planted events must peak
+    // near the events' planted centers (majority vote over events —
+    // a weak event can legitimately be absorbed by a neighbor).
+    let mut cfg = tcam::data::synth::tiny(33);
+    cfg.num_users = 400;
+    cfg.num_intervals = 12;
+    cfg.mean_ratings_per_user = 30.0;
+    cfg.lambda_alpha = 1.0;
+    cfg.lambda_beta = 3.0; // context-heavy so events are well observed
+    cfg.event_activity_boost = 3.0;
+    cfg.event_popular_tail = 0.1;
+    cfg.background_noise = 0.05;
+
+    // Events planted at (nearly) the same interval are not separately
+    // identifiable — any model legitimately merges them. Pick the first
+    // seed whose three events are pairwise well separated.
+    let data = (33..64)
+        .map(|seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            SynthDataset::generate(c).expect("generation")
+        })
+        .find(|d| {
+            let centers: Vec<i64> =
+                d.truth.events.iter().map(|e| e.center as i64).collect();
+            centers.iter().enumerate().all(|(i, &a)| {
+                centers.iter().skip(i + 1).all(|&b| (a - b).abs() >= 3)
+            })
+        })
+        .expect("some seed in range yields separated events");
+
+    let config = FitConfig::default()
+        .with_user_topics(4)
+        .with_time_topics(3)
+        .with_iterations(40)
+        .with_background(0.1)
+        .with_seed(33);
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+
+    let mut recovered = 0usize;
+    for event in &data.truth.events {
+        let (topic, mass) =
+            tcam::core::inspect::best_matching_time_topic(&model, &event.core_items);
+        let peak = tcam::core::inspect::topic_peak_interval(&model, topic).index() as i64;
+        let center = event.center as i64;
+        eprintln!(
+            "event {} center {center}, recovered topic {topic} peak {peak} (core mass {mass:.3})",
+            event.name
+        );
+        if (peak - center).abs() <= 2 {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered * 3 >= data.truth.events.len() * 2,
+        "at least 2/3 of planted events should be recovered at the right time          ({recovered}/{})",
+        data.truth.events.len()
+    );
+}
+
+#[test]
+fn user_interest_topics_recovered() {
+    // Average over users: the fitted interest distribution should put
+    // more mass on the user's planted dominant topic than chance.
+    let mut cfg = tcam::data::synth::tiny(34);
+    cfg.num_users = 250;
+    cfg.mean_ratings_per_user = 30.0;
+    cfg.lambda_alpha = 6.0;
+    cfg.lambda_beta = 1.0; // interest-heavy so topics are well observed
+    cfg.interest_concentration = 0.15;
+    cfg.topic_popular_share = 0.1;
+    cfg.background_noise = 0.05;
+    let data = SynthDataset::generate(cfg).expect("generation");
+
+    let k1 = data.config.num_user_topics;
+    let config = FitConfig::default()
+        .with_user_topics(k1)
+        .with_time_topics(3)
+        .with_iterations(40)
+        .with_background(0.1)
+        .with_seed(34);
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+
+    // Map each fitted topic to its best planted topic by item-mass
+    // overlap on the planted topic's *niche* support (the items whose
+    // planted mass exceeds the shared popularity head every topic
+    // carries).
+    let pop_dist = tcam_math::vecops::normalized(&data.truth.popularity);
+    let share = data.config.topic_popular_share;
+    let mut fitted_to_planted = vec![0usize; k1];
+    for z in 0..k1 {
+        let dist = model.user_topic(z);
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (p, planted) in data.truth.user_topics.iter().enumerate() {
+            let mass: f64 = planted
+                .iter()
+                .enumerate()
+                .filter(|&(v, &w)| w > share * pop_dist[v] + 1e-15)
+                .map(|(v, _)| dist[v])
+                .sum();
+            if mass > best.1 {
+                best = (p, mass);
+            }
+        }
+        fitted_to_planted[z] = best.0;
+    }
+
+    // For each user, does the mapped dominant fitted topic equal the
+    // planted dominant topic?
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &u in &data.cuboid.active_users() {
+        let planted_top =
+            tcam_math::vecops::argmax(&data.truth.user_interest[u.index()]).expect("k>0");
+        let fitted_top = tcam_math::vecops::argmax(model.user_interest(u)).expect("k>0");
+        if fitted_to_planted[fitted_top] == planted_top {
+            correct += 1;
+        }
+        total += 1;
+    }
+    let accuracy = correct as f64 / total as f64;
+    let chance = 1.0 / k1 as f64;
+    eprintln!("dominant-topic recovery: {accuracy:.3} (chance {chance:.3})");
+    assert!(
+        accuracy > 2.0 * chance,
+        "dominant-topic recovery {accuracy:.3} should beat 2x chance {chance:.3}"
+    );
+}

@@ -1,0 +1,116 @@
+//! Persistence round-trips across crates: datasets, weighting, and
+//! fitted models must survive JSON serialization bit-for-bit so the
+//! offline-training / online-serving split (paper Section 4) works.
+
+use std::path::PathBuf;
+use tcam::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tcam-integration-io");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn dataset_cuboid_round_trips() {
+    let data = SynthDataset::generate(tcam::data::synth::tiny(41)).expect("gen");
+    let path = tmp("cuboid.json");
+    tcam::data::io::save_cuboid(&data.cuboid, &path).expect("save");
+    let back = tcam::data::io::load_cuboid(&path).expect("load");
+    assert_eq!(back.entries(), data.cuboid.entries());
+    assert_eq!(back.num_users(), data.cuboid.num_users());
+    assert_eq!(back.num_times(), data.cuboid.num_times());
+    assert_eq!(back.num_items(), data.cuboid.num_items());
+    // Index structures must be rebuilt identically: spot-check lookups.
+    for r in data.cuboid.entries().iter().take(20) {
+        assert_eq!(back.get(r.user, r.time, r.item), r.value);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ground_truth_round_trips() {
+    let data = SynthDataset::generate(tcam::data::synth::tiny(42)).expect("gen");
+    let path = tmp("truth.json");
+    tcam::data::io::save_json(&data.truth, &path).expect("save");
+    let back: tcam::data::synth::GroundTruth =
+        tcam::data::io::load_json(&path).expect("load");
+    assert_eq!(back.lambda, data.truth.lambda);
+    assert_eq!(back.events.len(), data.truth.events.len());
+    assert_eq!(back.events[0].core_items, data.truth.events[0].core_items);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn weighting_round_trips() {
+    let data = SynthDataset::generate(tcam::data::synth::tiny(43)).expect("gen");
+    let weighting = ItemWeighting::compute(&data.cuboid);
+    let path = tmp("weighting.json");
+    tcam::data::io::save_json(&weighting, &path).expect("save");
+    let back: ItemWeighting = tcam::data::io::load_json(&path).expect("load");
+    for v in 0..data.cuboid.num_items() {
+        let item = ItemId::from(v);
+        assert_eq!(back.iuf(item), weighting.iuf(item));
+        for t in 0..data.cuboid.num_times() {
+            let time = TimeId::from(t);
+            assert_eq!(
+                back.bursty_degree(item, time),
+                weighting.bursty_degree(item, time)
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fitted_models_round_trip_and_predict_identically() {
+    let data = SynthDataset::generate(tcam::data::synth::tiny(44)).expect("gen");
+    let config = FitConfig::default()
+        .with_user_topics(4)
+        .with_time_topics(3)
+        .with_iterations(5)
+        .with_seed(44);
+
+    let ttcam = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+    let path = tmp("ttcam.json");
+    tcam::core::model::save_model(&ttcam, &path).expect("save");
+    let back = tcam::core::model::load_ttcam(&path).expect("load");
+    for u in (0..data.cuboid.num_users()).step_by(11) {
+        for t in 0..data.cuboid.num_times() {
+            for v in (0..data.cuboid.num_items()).step_by(7) {
+                assert_eq!(
+                    back.predict(UserId::from(u), TimeId::from(t), v),
+                    ttcam.predict(UserId::from(u), TimeId::from(t), v)
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ta_index_identical_after_model_reload() {
+    // The serving-side invariant: rebuild the TA index from a reloaded
+    // model and get identical recommendations.
+    let data = SynthDataset::generate(tcam::data::synth::tiny(45)).expect("gen");
+    let config = FitConfig::default()
+        .with_user_topics(4)
+        .with_time_topics(3)
+        .with_iterations(5)
+        .with_seed(45);
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+    let path = tmp("serving.json");
+    tcam::core::model::save_model(&model, &path).expect("save");
+    let reloaded = tcam::core::model::load_ttcam(&path).expect("load");
+
+    let index_a = TaIndex::build(&model);
+    let index_b = TaIndex::build(&reloaded);
+    for u in 0..5 {
+        let a = index_a.top_k(&model, UserId(u), TimeId(1), 5);
+        let b = index_b.top_k(&reloaded, UserId(u), TimeId(1), 5);
+        let items_a: Vec<usize> = a.items.iter().map(|s| s.index).collect();
+        let items_b: Vec<usize> = b.items.iter().map(|s| s.index).collect();
+        assert_eq!(items_a, items_b);
+    }
+    std::fs::remove_file(&path).ok();
+}

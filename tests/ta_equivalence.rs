@@ -1,0 +1,123 @@
+//! The Threshold Algorithm must return exactly the brute-force top-k
+//! (same scores; items interchangeable only under ties) for every
+//! query, every k, and both TCAM variants — the correctness claim
+//! behind the paper's Section 4.2 efficiency numbers.
+
+use tcam::prelude::*;
+use tcam::rec::brute_force_top_k;
+
+fn check_equivalence<S>(model: &S, num_users: usize, num_times: usize, label: &str)
+where
+    S: FactoredScorer,
+{
+    let index = TaIndex::build(model);
+    let mut buffer = vec![0.0; model.num_items()];
+    let mut total_examined = 0usize;
+    let mut queries = 0usize;
+    for u in (0..num_users).step_by(7) {
+        for t in (0..num_times).step_by(3) {
+            let (user, time) = (UserId::from(u), TimeId::from(t));
+            for k in [1usize, 3, 5, 10, 50] {
+                let ta = index.top_k(model, user, time, k);
+                let bf = brute_force_top_k(model, user, time, k, &mut buffer);
+                assert_eq!(ta.items.len(), bf.len(), "{label}: result size");
+                for (i, (a, b)) in ta.items.iter().zip(bf.iter()).enumerate() {
+                    assert!(
+                        (a.score - b.score).abs() < 1e-10,
+                        "{label}: rank {i} score {} vs {} (u{u}, t{t}, k{k})",
+                        a.score,
+                        b.score
+                    );
+                }
+                total_examined += ta.items_examined;
+                queries += 1;
+            }
+        }
+    }
+    let avg = total_examined as f64 / queries as f64;
+    eprintln!(
+        "{label}: avg items examined {avg:.0} of {} ({} queries)",
+        model.num_items(),
+        queries
+    );
+}
+
+#[test]
+fn ta_equals_brute_force_across_seeds_ttcam() {
+    for seed in [1u64, 2, 3] {
+        let data = SynthDataset::generate(tcam::data::synth::tiny(seed)).expect("gen");
+        let config = FitConfig::default()
+            .with_user_topics(5)
+            .with_time_topics(4)
+            .with_iterations(10)
+            .with_seed(seed);
+        let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+        check_equivalence(
+            &model,
+            data.cuboid.num_users(),
+            data.cuboid.num_times(),
+            &format!("TTCAM seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn ta_equals_brute_force_across_seeds_itcam() {
+    for seed in [4u64, 5] {
+        let data = SynthDataset::generate(tcam::data::synth::tiny(seed)).expect("gen");
+        let config = FitConfig::default()
+            .with_user_topics(5)
+            .with_iterations(10)
+            .with_seed(seed);
+        let model = ItcamModel::fit(&data.cuboid, &config).expect("fit").model;
+        check_equivalence(
+            &model,
+            data.cuboid.num_users(),
+            data.cuboid.num_times(),
+            &format!("ITCAM seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn ta_equals_brute_force_on_weighted_model() {
+    let data = SynthDataset::generate(tcam::data::synth::tiny(6)).expect("gen");
+    let weighted = ItemWeighting::compute(&data.cuboid).apply(&data.cuboid);
+    let config = FitConfig::default()
+        .with_user_topics(5)
+        .with_time_topics(4)
+        .with_iterations(10)
+        .with_seed(6);
+    let model = TtcamModel::fit(&weighted, &config).expect("fit").model;
+    check_equivalence(&model, data.cuboid.num_users(), data.cuboid.num_times(), "W-TTCAM");
+}
+
+#[test]
+fn ta_saves_work_on_larger_catalog() {
+    // The efficiency claim in miniature: on a douban-like catalog, TA
+    // must examine well under the full catalog on average for small k.
+    let data =
+        SynthDataset::generate(tcam::data::synth::douban_like(0.2, 7)).expect("gen");
+    let config = FitConfig::default()
+        .with_user_topics(10)
+        .with_time_topics(6)
+        .with_iterations(5)
+        .with_threads(2)
+        .with_seed(7);
+    let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
+    let index = TaIndex::build(&model);
+    let mut total = 0usize;
+    let n = 50;
+    for i in 0..n {
+        let user = UserId::from((i * 13) % data.cuboid.num_users());
+        let time = TimeId::from(i % data.cuboid.num_times());
+        total += index.top_k(&model, user, time, 10).items_examined;
+    }
+    let avg = total as f64 / n as f64;
+    let catalog = model.num_items() as f64;
+    eprintln!("avg examined: {avg:.0} of {catalog:.0}");
+    assert!(
+        avg < 0.5 * catalog,
+        "TA should examine < 50% of the catalog on average, got {avg:.0}/{catalog:.0}"
+    );
+}
