@@ -112,11 +112,8 @@ impl Bprmf {
         // Per-user sorted positive item lists + the flat positive pairs.
         let mut user_items: Vec<Vec<u32>> = vec![Vec::new(); n];
         for u in 0..n {
-            let mut items: Vec<u32> = cuboid
-                .user_entries(UserId::from(u))
-                .iter()
-                .map(|r| r.item.0)
-                .collect();
+            let mut items: Vec<u32> =
+                cuboid.user_entries(UserId::from(u)).iter().map(|r| r.item.0).collect();
             items.sort_unstable();
             items.dedup();
             user_items[u] = items;
@@ -167,8 +164,7 @@ impl Bprmf {
                     let wu = w.row(u);
                     let hi = h.row(i);
                     let hj = h.row(j);
-                    tcam_math::vecops::dot(wu, hi) - tcam_math::vecops::dot(wu, hj)
-                        + bias[i]
+                    tcam_math::vecops::dot(wu, hi) - tcam_math::vecops::dot(wu, hj) + bias[i]
                         - bias[j]
                 };
                 let g = sigmoid(-x_uij);
@@ -263,10 +259,7 @@ mod tests {
             vec![Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: 1.0 }],
         )
         .unwrap();
-        assert!(matches!(
-            Bprmf::fit(&c, &BprmfConfig::default()),
-            Err(BaselineError::BadData(_))
-        ));
+        assert!(matches!(Bprmf::fit(&c, &BprmfConfig::default()), Err(BaselineError::BadData(_))));
     }
 
     #[test]
@@ -288,8 +281,7 @@ mod tests {
     #[test]
     fn predict_all_matches_predict() {
         let c = two_cluster_cuboid();
-        let m = Bprmf::fit(&c, &BprmfConfig { num_epochs: 3, ..BprmfConfig::default() })
-            .unwrap();
+        let m = Bprmf::fit(&c, &BprmfConfig { num_epochs: 3, ..BprmfConfig::default() }).unwrap();
         let mut scores = vec![0.0; m.num_items()];
         m.predict_all(UserId(2), &mut scores);
         for (v, &s) in scores.iter().enumerate() {

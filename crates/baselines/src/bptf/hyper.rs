@@ -89,9 +89,8 @@ pub fn resample_chain_precision(time_factors: &Matrix, rng: &mut Pcg64) -> Resul
     w_inv.rank_one_update(time_factors.row(0), 1.0)?;
     let mut diff = vec![0.0; d];
     for k in 1..t_dim {
-        for (dd, (&a, &b)) in diff
-            .iter_mut()
-            .zip(time_factors.row(k).iter().zip(time_factors.row(k - 1).iter()))
+        for (dd, (&a, &b)) in
+            diff.iter_mut().zip(time_factors.row(k).iter().zip(time_factors.row(k - 1).iter()))
         {
             *dd = a - b;
         }

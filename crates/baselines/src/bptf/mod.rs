@@ -177,12 +177,7 @@ fn build_observations(
     let mut obs: Vec<Observation> = cuboid
         .entries()
         .iter()
-        .map(|r| Observation {
-            user: r.user.0,
-            item: r.item.0,
-            time: r.time.0,
-            value: r.value,
-        })
+        .map(|r| Observation { user: r.user.0, item: r.item.0, time: r.time.0, value: r.value })
         .collect();
     let n_neg = obs.len() * config.negative_samples_per_positive;
     for _ in 0..n_neg {
@@ -205,12 +200,7 @@ mod tests {
     use tcam_data::synth;
 
     fn quick_config() -> BptfConfig {
-        BptfConfig {
-            num_factors: 6,
-            burn_in: 3,
-            num_samples: 5,
-            ..BptfConfig::default()
-        }
+        BptfConfig { num_factors: 6, burn_in: 3, num_samples: 5, ..BptfConfig::default() }
     }
 
     #[test]
@@ -285,9 +275,6 @@ mod tests {
         let data = synth::SynthDataset::generate(synth::tiny(54)).unwrap();
         let a = Bptf::fit(&data.cuboid, &quick_config()).unwrap();
         let b = Bptf::fit(&data.cuboid, &quick_config()).unwrap();
-        assert_eq!(
-            a.predict(UserId(0), TimeId(0), 0),
-            b.predict(UserId(0), TimeId(0), 0)
-        );
+        assert_eq!(a.predict(UserId(0), TimeId(0), 0), b.predict(UserId(0), TimeId(0), 0));
     }
 }

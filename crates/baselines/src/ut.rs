@@ -87,11 +87,8 @@ impl UserTopicModel {
         // sorted by (t, v), so collect per user and merge by item.
         let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
         for u in 0..n {
-            let mut items: Vec<(u32, f64)> = cuboid
-                .user_entries(UserId::from(u))
-                .iter()
-                .map(|r| (r.item.0, r.value))
-                .collect();
+            let mut items: Vec<(u32, f64)> =
+                cuboid.user_entries(UserId::from(u)).iter().map(|r| (r.item.0, r.value)).collect();
             items.sort_unstable_by_key(|&(v, _)| v);
             let mut merged: Vec<(u32, f64)> = Vec::with_capacity(items.len());
             for (v, c) in items {
@@ -106,9 +103,7 @@ impl UserTopicModel {
         let mut rng = Pcg64::new(config.seed);
         let mut theta = Matrix::zeros(n, k);
         for u in 0..n {
-            theta
-                .row_mut(u)
-                .copy_from_slice(&crate::ut::random_distribution(k, &mut rng));
+            theta.row_mut(u).copy_from_slice(&crate::ut::random_distribution(k, &mut rng));
         }
         let mut phi_item = random_item_major(v_dim, k, &mut rng);
 
@@ -171,10 +166,8 @@ impl UserTopicModel {
     /// `P(v | u)` — time-independent rating likelihood.
     pub fn predict(&self, user: UserId, item: usize) -> f64 {
         let theta_u = self.theta.row(user.index());
-        let mixture: f64 =
-            (0..self.num_topics()).map(|z| theta_u[z] * self.phi.get(z, item)).sum();
-        self.background_weight * self.background[item]
-            + (1.0 - self.background_weight) * mixture
+        let mixture: f64 = (0..self.num_topics()).map(|z| theta_u[z] * self.phi.get(z, item)).sum();
+        self.background_weight * self.background[item] + (1.0 - self.background_weight) * mixture
     }
 
     /// Fills `scores[v] = P(v | u)` for all items.

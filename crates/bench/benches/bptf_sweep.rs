@@ -12,12 +12,8 @@ fn bench_bptf(c: &mut Criterion) {
 
     for d in [4usize, 8, 16] {
         group.bench_function(format!("one_sweep_d{d}"), |b| {
-            let config = BptfConfig {
-                num_factors: d,
-                burn_in: 0,
-                num_samples: 1,
-                ..BptfConfig::default()
-            };
+            let config =
+                BptfConfig { num_factors: d, burn_in: 0, num_samples: 1, ..BptfConfig::default() };
             b.iter(|| Bptf::fit(&data.cuboid, &config).expect("fit"))
         });
     }

@@ -10,9 +10,7 @@ fn bench_weighting(c: &mut Criterion) {
     let weighting = ItemWeighting::compute(&data.cuboid);
 
     let mut group = c.benchmark_group("item_weighting");
-    group.bench_function("compute_statistics", |b| {
-        b.iter(|| ItemWeighting::compute(&data.cuboid))
-    });
+    group.bench_function("compute_statistics", |b| b.iter(|| ItemWeighting::compute(&data.cuboid)));
     group.bench_function("apply_full", |b| b.iter(|| weighting.apply(&data.cuboid)));
     group.bench_function("apply_damped", |b| {
         b.iter(|| weighting.apply_with(WeightingScheme::Damped, &data.cuboid))

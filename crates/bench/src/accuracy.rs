@@ -19,19 +19,13 @@ pub fn run_accuracy_figure(
     seed: u64,
 ) -> Vec<(String, EvalReport)> {
     let cv = CrossValidation::new(&data.cuboid, folds, &mut Pcg64::new(seed));
-    let eval_cfg = EvalConfig {
-        k_max: 10,
-        num_threads: available_threads(),
-        ..EvalConfig::default()
-    };
+    let eval_cfg =
+        EvalConfig { k_max: 10, num_threads: available_threads(), ..EvalConfig::default() };
 
     let mut reports: Vec<(String, Vec<EvalReport>)> = Vec::new();
     for fold in 0..cv.num_folds() {
         let split = cv.fold(fold);
-        eprintln!(
-            "[fold {fold}] fitting suite on {} train ratings...",
-            split.train.nnz()
-        );
+        eprintln!("[fold {fold}] fitting suite on {} train ratings...", split.train.nnz());
         let suite = fit_suite(&split.train, suite_cfg);
         for model in suite {
             let report = evaluate(model.scorer.as_ref(), &split, &eval_cfg);

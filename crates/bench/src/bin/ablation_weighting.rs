@@ -34,17 +34,17 @@ fn main() {
     let eval_cfg = EvalConfig { k_max: 5, num_threads: 4, ..EvalConfig::default() };
 
     // Weight distribution diagnostics over observed cells.
-    let mut ws: Vec<f64> = split
-        .train
-        .entries()
-        .iter()
-        .map(|r| weighting.weight(r.item, r.time))
-        .collect();
+    let mut ws: Vec<f64> =
+        split.train.entries().iter().map(|r| weighting.weight(r.item, r.time)).collect();
     ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| ws[((ws.len() - 1) as f64 * p) as usize];
     println!(
         "weight percentiles: p10 {:.3} p50 {:.3} p90 {:.3} p99 {:.3} max {:.3}",
-        pct(0.1), pct(0.5), pct(0.9), pct(0.99), ws[ws.len() - 1]
+        pct(0.1),
+        pct(0.5),
+        pct(0.9),
+        pct(0.99),
+        ws[ws.len() - 1]
     );
 
     let mean_lambda = |m: &TtcamModel| {
@@ -64,6 +64,10 @@ fn main() {
         let weighted = weighting.apply_with(scheme, &split.train);
         let model = TtcamModel::fit(&weighted, &fit_cfg).unwrap().model;
         let r = evaluate(&model, &split, &eval_cfg);
-        println!("{name:<10} NDCG@5 {:.4}  mean-lambda {:.3}", r.per_k[4].ndcg, mean_lambda(&model));
+        println!(
+            "{name:<10} NDCG@5 {:.4}  mean-lambda {:.3}",
+            r.per_k[4].ndcg,
+            mean_lambda(&model)
+        );
     }
 }

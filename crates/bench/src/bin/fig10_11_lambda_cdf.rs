@@ -58,8 +58,8 @@ fn run(config: SynthConfig, title: &str, iters: usize, seed: u64) {
     println!("{}", table.render());
 
     let mean = lambdas.iter().sum::<f64>() / lambdas.len().max(1) as f64;
-    let above_half = lambdas.iter().filter(|&&l| l > 0.5).count() as f64
-        / lambdas.len().max(1) as f64;
+    let above_half =
+        lambdas.iter().filter(|&&l| l > 0.5).count() as f64 / lambdas.len().max(1) as f64;
     println!("mean lambda = {mean:.3}; share of users with lambda > 0.5 = {above_half:.3}");
 
     let planted: Vec<f64> = active.iter().map(|&UserId(u)| data.truth.lambda[u as usize]).collect();

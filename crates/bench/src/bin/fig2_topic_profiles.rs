@@ -23,8 +23,7 @@ fn main() {
     let iters = args.get_usize("iters", 30);
 
     banner("Figure 2: stable vs bursty topic temporal profiles (delicious-like)");
-    let data =
-        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let data = SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
     let weighted = ItemWeighting::compute(&data.cuboid).apply(&data.cuboid);
     let fit_cfg = FitConfig::default()
         .with_user_topics(12)
@@ -74,11 +73,21 @@ fn main() {
 
     println!("\nall time-oriented topic burstiness values:");
     for s in &time_topics {
-        println!("  {}: {:.1}x  |{}|", s.label, profile_burstiness(&s.profile), sparkline(&s.profile));
+        println!(
+            "  {}: {:.1}x  |{}|",
+            s.label,
+            profile_burstiness(&s.profile),
+            sparkline(&s.profile)
+        );
     }
     println!("all user-oriented topic burstiness values:");
     for s in &user_topics {
-        println!("  {}: {:.1}x  |{}|", s.label, profile_burstiness(&s.profile), sparkline(&s.profile));
+        println!(
+            "  {}: {:.1}x  |{}|",
+            s.label,
+            profile_burstiness(&s.profile),
+            sparkline(&s.profile)
+        );
     }
     println!(
         "\nPaper reference (Fig. 2): the time-oriented topic (Boston bombing) spikes in one \

@@ -20,8 +20,7 @@ fn main() {
     let seed = args.get_u64("seed", 1);
 
     banner("Figure 5: bursty vs popular item temporal frequency (delicious-like)");
-    let data =
-        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let data = SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
     let weighting = ItemWeighting::compute(&data.cuboid);
 
     // Headline event = largest planted weight.

@@ -31,7 +31,6 @@ fn main() {
     banner(&format!(
         "Figure 7: temporal accuracy on movielens-like (scale {scale}, {folds} folds)"
     ));
-    let data =
-        SynthDataset::generate(synth::movielens_like(scale, seed)).expect("generation");
+    let data = SynthDataset::generate(synth::movielens_like(scale, seed)).expect("generation");
     run_accuracy_figure(&data, folds, &suite_cfg, seed);
 }

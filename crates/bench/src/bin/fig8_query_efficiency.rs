@@ -11,9 +11,9 @@
 //! Usage: `cargo run --release -p tcam-bench --bin fig8_query_efficiency
 //!         [scale=1.0 iters=10 queries=200 seed=1]`
 
+use tcam_baselines::{Bptf, BptfConfig};
 use tcam_bench::report::{banner, dur, Table};
 use tcam_bench::Args;
-use tcam_baselines::{Bptf, BptfConfig};
 use tcam_core::{FitConfig, TtcamModel};
 use tcam_data::{synth, SynthConfig, SynthDataset, TimeId, UserId};
 use tcam_math::Pcg64;
@@ -37,10 +37,7 @@ fn run_dataset(config: SynthConfig, iters: usize, num_queries: usize, seed: u64)
     let name = config.name.clone();
     banner(&format!("Figure 8: online top-k latency on {name}"));
     let data = SynthDataset::generate(config).expect("generation");
-    eprintln!(
-        "[{name}] {} items, fitting TTCAM + BPTF...",
-        data.cuboid.num_items()
-    );
+    eprintln!("[{name}] {} items, fitting TTCAM + BPTF...", data.cuboid.num_items());
 
     let threads = tcam_bench::suite::available_threads();
     let fit_cfg = FitConfig::default()
@@ -69,14 +66,8 @@ fn run_dataset(config: SynthConfig, iters: usize, num_queries: usize, seed: u64)
         })
         .collect();
 
-    let mut table = Table::new(vec![
-        "k",
-        "TCAM-TA",
-        "TCAM-BF",
-        "BPTF",
-        "TA items examined",
-        "catalog",
-    ]);
+    let mut table =
+        Table::new(vec!["k", "TCAM-TA", "TCAM-BF", "BPTF", "TA items examined", "catalog"]);
     for k in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
         let ta = time_ta(&tcam, &index, &queries, k);
         let bf = time_brute_force(&tcam, &queries, k);

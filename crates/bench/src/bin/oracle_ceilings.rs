@@ -31,12 +31,8 @@ impl TemporalScorer for Oracle<'_> {
             .map(|(w, topic)| w * topic[item])
             .sum();
         let t = time.index();
-        let ctx_norm: f64 = truth
-            .events
-            .iter()
-            .map(|e| e.weight * e.profile[t])
-            .sum::<f64>()
-            .max(1e-12);
+        let ctx_norm: f64 =
+            truth.events.iter().map(|e| e.weight * e.profile[t]).sum::<f64>().max(1e-12);
         let context: f64 = truth
             .events
             .iter()

@@ -1,0 +1,178 @@
+//! Load generator for the serving engine: Zipf-distributed query
+//! traffic replayed through [`tcam_serve::ServeEngine::query_batch`] at
+//! several thread counts, emitting a JSON report on stdout.
+//!
+//! Traffic model: users are drawn from a Zipf over the fitted
+//! population (social-media request traffic is heavy-tailed, which is
+//! also what makes the `(user, time, k)` response cache earn its keep);
+//! a configurable fraction of queries come from *unseen* user ids and
+//! exercise the fold-in backoff; query intervals are uniform over the
+//! timeline plus a sliver of out-of-range times that must clamp.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin serve_load
+//!         [scale=0.5 seed=42 queries=30000 k=10 zipf=1.1 cold=0.05
+//!          cache=4096 iters=6 threads=1,2,4]`
+
+use serde::Serialize;
+use std::time::Instant;
+use tcam_bench::Args;
+use tcam_core::{FitConfig, TtcamModel};
+use tcam_data::{synth, SynthDataset, TimeId, UserId};
+use tcam_math::dist::Zipf;
+use tcam_math::Pcg64;
+use tcam_serve::{ModelSnapshot, Query, ServeConfig, ServeEngine, ServingStats};
+
+#[derive(Debug, Serialize)]
+struct RunReport {
+    threads: usize,
+    wall_s: f64,
+    queries_per_s: f64,
+    speedup_vs_serial: f64,
+    stats: ServingStats,
+}
+
+#[derive(Debug, Serialize)]
+struct LoadReport {
+    benchmark: String,
+    /// Cores visible to the process. With a single core the multi-thread
+    /// runs can only show overhead (speedup <= 1); the scaling claim is
+    /// meaningful only when this exceeds the thread count.
+    available_cores: usize,
+    num_users: usize,
+    num_items: usize,
+    num_times: usize,
+    queries: usize,
+    k: usize,
+    zipf_s: f64,
+    cold_fraction: f64,
+    cache_capacity: usize,
+    runs: Vec<RunReport>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.5);
+    let seed = args.get_u64("seed", 42);
+    let num_queries = args.get_usize("queries", 30_000);
+    let k = args.get_usize("k", 10);
+    let zipf_s = args.get_f64("zipf", 1.1);
+    let cold_fraction = args.get_f64("cold", 0.05).clamp(0.0, 1.0);
+    let cache_capacity = args.get_usize("cache", 4096);
+    let iters = args.get_usize("iters", 6);
+    let threads = parse_threads(&args.get_str("threads", "1,2,4"));
+
+    // Progress goes to stderr; stdout carries only the JSON report.
+    eprintln!("==== serve_load: concurrent temporal top-k serving ====");
+    eprintln!("fitting TTCAM on digg-like synthetic data (scale={scale})...");
+    let data = SynthDataset::generate(synth::digg_like(scale, seed)).expect("generation");
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(10)
+        .with_time_topics(5)
+        .with_iterations(iters)
+        .with_threads(tcam_bench::suite::available_threads())
+        .with_seed(seed);
+    let model = TtcamModel::fit(&data.cuboid, &fit_cfg).expect("fit").model;
+    let (num_users, num_items, num_times) =
+        (model.num_users(), model.num_items(), model.num_times());
+    eprintln!("model: {num_users} users, {num_items} items, {num_times} intervals");
+
+    let queries = generate_traffic(&model, num_queries, k, zipf_s, cold_fraction, seed);
+
+    let mut runs: Vec<RunReport> = Vec::new();
+    let mut serial_qps = 0.0;
+    for &num_threads in &threads {
+        // A fresh engine per thread count: cold cache, zeroed stats, so
+        // the runs are directly comparable.
+        let engine = ServeEngine::new(
+            ModelSnapshot::new(model.clone(), 1),
+            ServeConfig { cache_capacity, ..ServeConfig::default() },
+        );
+        let start = Instant::now();
+        let responses = engine.query_batch(&queries, num_threads);
+        let wall_s = start.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), queries.len());
+
+        let queries_per_s = num_queries as f64 / wall_s;
+        if num_threads == 1 || serial_qps == 0.0 {
+            serial_qps = queries_per_s;
+        }
+        let stats = engine.stats();
+        eprintln!(
+            "threads={num_threads:2}  wall={wall_s:8.3}s  qps={queries_per_s:10.0}  \
+             hit_rate={:.3}  folded={}  p99={:.1}us",
+            stats.cache_hit_rate, stats.folded_queries, stats.latency_p99_us
+        );
+        runs.push(RunReport {
+            threads: num_threads,
+            wall_s,
+            queries_per_s,
+            speedup_vs_serial: queries_per_s / serial_qps,
+            stats,
+        });
+    }
+
+    let cores = tcam_bench::suite::available_threads();
+    if threads.iter().any(|&t| t > cores) {
+        eprintln!(
+            "note: only {cores} core(s) available; speedups above 1.0 \
+             require more cores than worker threads"
+        );
+    }
+    let report = LoadReport {
+        benchmark: "serve_load".to_string(),
+        available_cores: cores,
+        num_users,
+        num_items,
+        num_times,
+        queries: num_queries,
+        k,
+        zipf_s,
+        cold_fraction,
+        cache_capacity,
+        runs,
+    };
+    println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+}
+
+/// Builds the Zipf-over-users query stream.
+fn generate_traffic(
+    model: &TtcamModel,
+    num_queries: usize,
+    k: usize,
+    zipf_s: f64,
+    cold_fraction: f64,
+    seed: u64,
+) -> Vec<Query> {
+    let num_users = model.num_users();
+    let num_times = model.num_times();
+    let zipf = Zipf::new(num_users, zipf_s).expect("zipf");
+    let mut rng = Pcg64::with_stream(seed, 1);
+    (0..num_queries)
+        .map(|_| {
+            let user = if rng.gen_bool(cold_fraction) {
+                // An id the model has never seen: fold-in backoff path.
+                UserId::from(num_users + rng.gen_range(num_users.max(1)))
+            } else {
+                UserId::from(zipf.sample(&mut rng))
+            };
+            // Mostly in-range intervals, with a few "future" ones that
+            // must clamp to the last fitted interval.
+            let time = if rng.gen_bool(0.02) {
+                TimeId::from(num_times + rng.gen_range(4))
+            } else {
+                TimeId::from(rng.gen_range(num_times))
+            };
+            Query { user, time, k }
+        })
+        .collect()
+}
+
+fn parse_threads(spec: &str) -> Vec<usize> {
+    let parsed: Vec<usize> =
+        spec.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&t| t > 0).collect();
+    if parsed.is_empty() {
+        vec![1, 4]
+    } else {
+        parsed
+    }
+}

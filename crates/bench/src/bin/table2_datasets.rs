@@ -39,8 +39,7 @@ fn main() {
         let name = config.name.clone();
         let data = SynthDataset::generate(config).expect("generation failed");
         let stats = DatasetStats::compute(&data.cuboid);
-        let total =
-            (data.truth.interest_ratings + data.truth.context_ratings).max(1) as f64;
+        let total = (data.truth.interest_ratings + data.truth.context_ratings).max(1) as f64;
         table.row(vec![
             name,
             stats.active_users.to_string(),

@@ -8,9 +8,9 @@
 //! Usage: `cargo run --release -p tcam-bench --bin table4_training_time
 //!         [scale=0.5 iters=30 seed=1]`
 
+use tcam_baselines::{Bprmf, BprmfConfig, Bptf, BptfConfig};
 use tcam_bench::report::{banner, dur, Table};
 use tcam_bench::Args;
-use tcam_baselines::{Bprmf, BprmfConfig, Bptf, BptfConfig};
 use tcam_core::{FitConfig, TtcamModel};
 use tcam_data::{synth, SynthDataset};
 use tcam_rec::timing::timed;

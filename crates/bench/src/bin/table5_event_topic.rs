@@ -12,13 +12,13 @@
 //! Usage: `cargo run --release -p tcam-bench --bin table5_event_topic
 //!         [scale=0.3 iters=30 seed=1 topk=8]`
 
+use tcam_baselines::{TimeTopicModel, TtConfig};
 use tcam_bench::report::banner;
 use tcam_bench::topics::{annotate, core_precision, popularity_ranks};
 use tcam_bench::Args;
 use tcam_core::inspect::{best_matching_time_topic, top_items};
 use tcam_core::{FitConfig, TtcamModel};
 use tcam_data::{synth, ItemWeighting, SynthDataset};
-use tcam_baselines::{TimeTopicModel, TtConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -28,8 +28,7 @@ fn main() {
     let topk = args.get_usize("topk", 8);
 
     banner("Table 5: headline-event topic under TT / TTCAM / W-TTCAM (delicious-like)");
-    let data =
-        SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
+    let data = SynthDataset::generate(synth::delicious_like(scale, seed)).expect("generation");
     let weighting = ItemWeighting::compute(&data.cuboid);
     let weighted = weighting.apply(&data.cuboid);
     let pop_rank = popularity_ranks(&data, &weighting);
@@ -65,8 +64,7 @@ fn main() {
     // Best-matching topic per model = most mass on the core items.
     let tt_best = (0..20)
         .map(|x| {
-            let mass: f64 =
-                headline.core_items.iter().map(|i| tt.topic(x)[i.index()]).sum();
+            let mass: f64 = headline.core_items.iter().map(|i| tt.topic(x)[i.index()]).sum();
             (x, mass)
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
@@ -82,10 +80,7 @@ fn main() {
     ];
 
     for (name, top) in &rows {
-        println!(
-            "{name} (core precision {:.2}):",
-            core_precision(top, &headline.core_items)
-        );
+        println!("{name} (core precision {:.2}):", core_precision(top, &headline.core_items));
         for &(item, p) in top {
             println!("  {}", annotate(item, p, &headline.core_items, &weighting, &pop_rank));
         }

@@ -42,14 +42,10 @@ fn main() {
     let mut time_topics = time_topic_summaries(&model, topk);
     // Most stable user topics, most bursty time topics.
     user_topics.sort_by(|a, b| {
-        profile_burstiness(&a.profile)
-            .partial_cmp(&profile_burstiness(&b.profile))
-            .expect("finite")
+        profile_burstiness(&a.profile).partial_cmp(&profile_burstiness(&b.profile)).expect("finite")
     });
     time_topics.sort_by(|a, b| {
-        profile_burstiness(&b.profile)
-            .partial_cmp(&profile_burstiness(&a.profile))
-            .expect("finite")
+        profile_burstiness(&b.profile).partial_cmp(&profile_burstiness(&a.profile)).expect("finite")
     });
 
     println!("user-oriented (stable taste clusters):");

@@ -46,7 +46,9 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };

@@ -180,11 +180,9 @@ pub fn fit_suite(train: &RatingCuboid, config: &SuiteConfig) -> Vec<SuiteModel> 
     }
 
     if config.include_popularity {
-        let (pop, t) =
-            tcam_rec::timing::timed(|| tcam_baselines::MostPopular::fit(train));
+        let (pop, t) = tcam_rec::timing::timed(|| tcam_baselines::MostPopular::fit(train));
         out.push(SuiteModel::new(pop, t));
-        let (tpop, t) =
-            tcam_rec::timing::timed(|| tcam_baselines::TimePopular::fit(train, 0.2));
+        let (tpop, t) = tcam_rec::timing::timed(|| tcam_baselines::TimePopular::fit(train, 0.2));
         out.push(SuiteModel::new(tpop, t));
     }
 

@@ -23,9 +23,7 @@ pub fn annotate(
 pub fn popularity_ranks(data: &SynthDataset, weighting: &ItemWeighting) -> Vec<usize> {
     let v = data.cuboid.num_items();
     let mut order: Vec<usize> = (0..v).collect();
-    order.sort_by_key(|&i| {
-        std::cmp::Reverse(weighting.item_user_count(ItemId::from(i)))
-    });
+    order.sort_by_key(|&i| std::cmp::Reverse(weighting.item_user_count(ItemId::from(i))));
     let mut rank = vec![0usize; v];
     for (r, &i) in order.iter().enumerate() {
         rank[i] = r;

@@ -192,12 +192,7 @@ impl<M> FitResult<M> {
 
 /// Eq. 11 with optional empirical-Bayes shrinkage toward the global
 /// mean: `lambda_u = (s * lambda_bar + num_u) / (s + den_u)`.
-pub(crate) fn update_lambda(
-    shrinkage: f64,
-    lambda_num: &[f64],
-    mass: &[f64],
-    lambda: &mut [f64],
-) {
+pub(crate) fn update_lambda(shrinkage: f64, lambda_num: &[f64], mass: &[f64], lambda: &mut [f64]) {
     let total_num: f64 = lambda_num.iter().sum();
     let total_mass: f64 = mass.iter().sum();
     let global = if total_mass > 0.0 { total_num / total_mass } else { 0.5 };

@@ -158,8 +158,7 @@ mod tests {
         let (_, model) = fitted();
         let folded = model.fold_in_user(&[], 10, 0.0);
         assert!((folded.interest.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        let population =
-            model.lambdas().iter().sum::<f64>() / model.lambdas().len() as f64;
+        let population = model.lambdas().iter().sum::<f64>() / model.lambdas().len() as f64;
         assert!((folded.lambda - population).abs() < 1e-12);
     }
 

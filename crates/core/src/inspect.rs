@@ -18,11 +18,8 @@ pub struct TopicSummary {
 impl TopicSummary {
     /// Renders as a single report line: `label: v12(0.31) v7(0.22) ...`.
     pub fn to_line(&self) -> String {
-        let items: Vec<String> = self
-            .top_items
-            .iter()
-            .map(|(item, p)| format!("{item}({p:.3})"))
-            .collect();
+        let items: Vec<String> =
+            self.top_items.iter().map(|(item, p)| format!("{item}({p:.3})")).collect();
         format!("{}: {}", self.label, items.join(" "))
     }
 }
@@ -62,9 +59,8 @@ pub fn user_topic_summaries(
     let mut usage = vec![vec![0.0f64; t_dim]; k1];
     for r in cuboid.entries() {
         let theta_u = model.user_interest(r.user);
-        let mut post: Vec<f64> = (0..k1)
-            .map(|z| theta_u[z] * model.user_topic(z)[r.item.index()])
-            .collect();
+        let mut post: Vec<f64> =
+            (0..k1).map(|z| theta_u[z] * model.user_topic(z)[r.item.index()]).collect();
         let sum: f64 = post.iter().sum();
         if sum <= 0.0 {
             continue;

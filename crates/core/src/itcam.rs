@@ -161,8 +161,7 @@ impl ItcamModel {
             trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
             if iteration > 0 {
                 let prev = trace[iteration - 1].log_likelihood;
-                let rel = (stats.log_likelihood - prev).abs()
-                    / prev.abs().max(f64::MIN_POSITIVE);
+                let rel = (stats.log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
                 if config.tolerance > 0.0 && rel < config.tolerance {
                     converged = true;
                     break;
@@ -183,14 +182,7 @@ impl ItcamModel {
         // scoring and inspection.
         let phi = transpose_normalized(&phi_item, k1, v_dim);
         Ok(FitResult {
-            model: ItcamModel {
-                theta,
-                phi,
-                theta_t,
-                lambda,
-                background,
-                background_weight: lam_b,
-            },
+            model: ItcamModel { theta, phi, theta_t, lambda, background, background_weight: lam_b },
             trace,
             converged,
         })
@@ -256,13 +248,11 @@ impl ItcamModel {
         let u = user.index();
         let lam = self.lambda[u];
         let theta_u = self.theta.row(u);
-        let interest: f64 = (0..self.num_user_topics())
-            .map(|z| theta_u[z] * self.phi.get(z, item))
-            .sum();
+        let interest: f64 =
+            (0..self.num_user_topics()).map(|z| theta_u[z] * self.phi.get(z, item)).sum();
         let lam_b = self.background_weight;
         lam_b * self.background[item]
-            + (1.0 - lam_b)
-                * (lam * interest + (1.0 - lam) * self.theta_t.get(time.index(), item))
+            + (1.0 - lam_b) * (lam * interest + (1.0 - lam) * self.theta_t.get(time.index(), item))
     }
 
     /// Fills `scores[v] = P(v | u, t)` for all items (brute-force scan).
@@ -430,10 +420,8 @@ mod tests {
 
     fn fit_tiny(seed: u64, iters: usize) -> (tcam_data::SynthDataset, FitResult<ItcamModel>) {
         let data = synth::SynthDataset::generate(synth::tiny(seed)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(4)
-            .with_iterations(iters)
-            .with_seed(seed);
+        let config =
+            FitConfig::default().with_user_topics(4).with_iterations(iters).with_seed(seed);
         let result = ItcamModel::fit(&data.cuboid, &config).unwrap();
         (data, result)
     }
@@ -441,10 +429,7 @@ mod tests {
     #[test]
     fn rejects_empty_cuboid() {
         let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
-        assert!(matches!(
-            ItcamModel::fit(&c, &FitConfig::default()),
-            Err(ModelError::BadData(_))
-        ));
+        assert!(matches!(ItcamModel::fit(&c, &FitConfig::default()), Err(ModelError::BadData(_))));
     }
 
     #[test]
@@ -477,10 +462,7 @@ mod tests {
             assert!(tcam_math::vecops::is_distribution(m.user_topic(z), 1e-8));
         }
         for t in 0..m.num_times() {
-            assert!(tcam_math::vecops::is_distribution(
-                m.temporal_context(TimeId::from(t)),
-                1e-8
-            ));
+            assert!(tcam_math::vecops::is_distribution(m.temporal_context(TimeId::from(t)), 1e-8));
         }
         drop(data);
     }
@@ -513,8 +495,7 @@ mod tests {
         let data = synth::SynthDataset::generate(synth::tiny(5)).unwrap();
         let base = FitConfig::default().with_user_topics(4).with_iterations(5).with_seed(9);
         let serial = ItcamModel::fit(&data.cuboid, &base).unwrap();
-        let parallel =
-            ItcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
+        let parallel = ItcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
         // Same init + deterministic merge order => identical trajectories
         // up to floating addition order; allow a tiny tolerance.
         let a = serial.final_log_likelihood();

@@ -18,7 +18,7 @@
 //!
 //! The E-step is embarrassingly parallel across ratings; [`FitConfig`]
 //! selects a thread count and the engine shards users across scoped
-//! threads (`crossbeam`), merging per-thread sufficient statistics.
+//! threads (`std::thread::scope`), merging per-thread sufficient statistics.
 
 // Lint policy: `!(x > 0.0)` is used deliberately throughout to treat
 // NaN as invalid (a plain `x <= 0.0` would accept NaN); indexed loops in

@@ -15,8 +15,7 @@ use std::path::Path;
 /// Writes any serializable model as JSON to `path`.
 pub fn save_model<M: serde::Serialize>(model: &M, path: &Path) -> Result<()> {
     let file = File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), model)
-        .map_err(|e| ModelError::Io(e.to_string()))
+    serde_json::to_writer(BufWriter::new(file), model).map_err(|e| ModelError::Io(e.to_string()))
 }
 
 /// Reads a serialized model from JSON.
@@ -44,10 +43,8 @@ mod tests {
     #[test]
     fn ttcam_round_trips() {
         let data = synth::SynthDataset::generate(synth::tiny(30)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(3);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(3);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
 
         let dir = std::env::temp_dir().join("tcam-model-test");

@@ -50,20 +50,16 @@ where
         let range = shards.into_iter().next().expect("one shard");
         return vec![work(range)];
     }
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .map(|range| {
                 let work = &work;
-                scope.spawn(move |_| work(range))
+                scope.spawn(move || work(range))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("E-step worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("E-step worker panicked")).collect()
     })
-    .expect("crossbeam scope failed")
 }
 
 #[cfg(test)]
@@ -131,16 +127,14 @@ mod tests {
     #[test]
     fn run_sharded_sums_match_serial() {
         let c = cuboid_with_counts(&[3, 1, 4, 1, 5, 9, 2, 6]);
-        let serial: usize = run_sharded(&c, 1, |range| {
-            range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>()
-        })
-        .into_iter()
-        .sum();
-        let parallel: usize = run_sharded(&c, 3, |range| {
-            range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>()
-        })
-        .into_iter()
-        .sum();
+        let serial: usize =
+            run_sharded(&c, 1, |range| range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>())
+                .into_iter()
+                .sum();
+        let parallel: usize =
+            run_sharded(&c, 3, |range| range.map(|u| c.user_nnz(UserId::from(u))).sum::<usize>())
+                .into_iter()
+                .sum();
         assert_eq!(serial, parallel);
         assert_eq!(serial, c.nnz());
     }

@@ -150,8 +150,7 @@ impl TtcamModel {
             trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
             if iteration > 0 {
                 let prev = trace[iteration - 1].log_likelihood;
-                let rel = (stats.log_likelihood - prev).abs()
-                    / prev.abs().max(f64::MIN_POSITIVE);
+                let rel = (stats.log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
                 if config.tolerance > 0.0 && rel < config.tolerance {
                     converged = true;
                     break;
@@ -270,16 +269,13 @@ impl TtcamModel {
         let t = time.index();
         let lam = self.lambda[u];
         let theta_u = self.theta.row(u);
-        let interest: f64 = (0..self.num_user_topics())
-            .map(|z| theta_u[z] * self.phi.get(z, item))
-            .sum();
+        let interest: f64 =
+            (0..self.num_user_topics()).map(|z| theta_u[z] * self.phi.get(z, item)).sum();
         let theta_t = self.theta_t.row(t);
-        let context: f64 = (0..self.num_time_topics())
-            .map(|x| theta_t[x] * self.phi_t.get(x, item))
-            .sum();
+        let context: f64 =
+            (0..self.num_time_topics()).map(|x| theta_t[x] * self.phi_t.get(x, item)).sum();
         let lam_b = self.background_weight;
-        lam_b * self.background[item]
-            + (1.0 - lam_b) * (lam * interest + (1.0 - lam) * context)
+        lam_b * self.background[item] + (1.0 - lam_b) * (lam * interest + (1.0 - lam) * context)
     }
 
     /// Fills `scores[v] = P(v | u, t)` for all items (brute-force scan).
@@ -534,10 +530,7 @@ mod tests {
         let (_, result) = fit_tiny(2, 10);
         let m = &result.model;
         for u in 0..m.num_users() {
-            assert!(tcam_math::vecops::is_distribution(
-                m.user_interest(UserId::from(u)),
-                1e-8
-            ));
+            assert!(tcam_math::vecops::is_distribution(m.user_interest(UserId::from(u)), 1e-8));
             let lam = m.lambda(UserId::from(u));
             assert!((0.0..=1.0).contains(&lam));
         }
@@ -545,10 +538,7 @@ mod tests {
             assert!(tcam_math::vecops::is_distribution(m.user_topic(z), 1e-8));
         }
         for t in 0..m.num_times() {
-            assert!(tcam_math::vecops::is_distribution(
-                m.temporal_context(TimeId::from(t)),
-                1e-8
-            ));
+            assert!(tcam_math::vecops::is_distribution(m.temporal_context(TimeId::from(t)), 1e-8));
         }
         for x in 0..m.num_time_topics() {
             assert!(tcam_math::vecops::is_distribution(m.time_topic(x), 1e-8));

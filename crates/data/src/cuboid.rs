@@ -251,10 +251,7 @@ impl RatingCuboid {
         let ratings: Vec<Rating> = self
             .entries
             .iter()
-            .map(|r| Rating {
-                time: TimeId::from(r.time.index() / factor),
-                ..*r
-            })
+            .map(|r| Rating { time: TimeId::from(r.time.index() / factor), ..*r })
             .collect();
         RatingCuboid::from_ratings(self.num_users, new_times, self.num_items, ratings)
             .expect("coarsening a valid cuboid stays valid")
@@ -262,10 +259,7 @@ impl RatingCuboid {
 
     /// The set of users with at least one rating.
     pub fn active_users(&self) -> Vec<UserId> {
-        (0..self.num_users)
-            .map(UserId::from)
-            .filter(|&u| self.user_nnz(u) > 0)
-            .collect()
+        (0..self.num_users).map(UserId::from).filter(|&u| self.user_nnz(u) > 0).collect()
     }
 }
 
@@ -305,21 +299,16 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let c = RatingCuboid::from_ratings(
-            1,
-            1,
-            1,
-            vec![r(0, 0, 0, 1.0), r(0, 0, 0, 2.5)],
-        )
-        .unwrap();
+        let c =
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 0, 1.0), r(0, 0, 0, 2.5)]).unwrap();
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.get(UserId(0), TimeId(0), ItemId(0)), 3.5);
     }
 
     #[test]
     fn zero_values_dropped() {
-        let c = RatingCuboid::from_ratings(1, 1, 2, vec![r(0, 0, 0, 0.0), r(0, 0, 1, 1.0)])
-            .unwrap();
+        let c =
+            RatingCuboid::from_ratings(1, 1, 2, vec![r(0, 0, 0, 0.0), r(0, 0, 1, 1.0)]).unwrap();
         assert_eq!(c.nnz(), 1);
     }
 
@@ -425,8 +414,8 @@ mod tests {
 
     #[test]
     fn active_users_skips_empty() {
-        let c = RatingCuboid::from_ratings(3, 1, 1, vec![r(0, 0, 0, 1.0), r(2, 0, 0, 1.0)])
-            .unwrap();
+        let c =
+            RatingCuboid::from_ratings(3, 1, 1, vec![r(0, 0, 0, 1.0), r(2, 0, 0, 1.0)]).unwrap();
         assert_eq!(c.active_users(), vec![UserId(0), UserId(2)]);
     }
 }

@@ -53,11 +53,7 @@ fn group_runs(cuboid: &RatingCuboid) -> Vec<(usize, usize)> {
 /// Groups with a single entry go entirely to training: a held-out item
 /// in an interval where the user has no training signal cannot be
 /// recommended by any personalized model and only adds noise.
-pub fn train_test_split(
-    cuboid: &RatingCuboid,
-    test_fraction: f64,
-    rng: &mut Pcg64,
-) -> Split {
+pub fn train_test_split(cuboid: &RatingCuboid, test_fraction: f64, rng: &mut Pcg64) -> Split {
     let test_fraction = test_fraction.clamp(0.0, 1.0);
     let mut train_idx = Vec::with_capacity(cuboid.nnz());
     let mut test_idx = Vec::new();
@@ -127,10 +123,7 @@ impl CrossValidation {
                 train_idx.push(entry);
             }
         }
-        Split {
-            train: self.cuboid.subset(&train_idx),
-            test: self.cuboid.subset(&test_idx),
-        }
+        Split { train: self.cuboid.subset(&train_idx), test: self.cuboid.subset(&test_idx) }
     }
 
     /// Iterates all folds.

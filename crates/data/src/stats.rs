@@ -56,8 +56,7 @@ impl DatasetStats {
         let rated_items = item_seen.iter().filter(|&&s| s).count();
 
         let cells = (num_users as f64) * (num_items as f64) * (num_times as f64);
-        let interval_total: usize =
-            (0..num_times).map(|t| cuboid.time_nnz(TimeId::from(t))).sum();
+        let interval_total: usize = (0..num_times).map(|t| cuboid.time_nnz(TimeId::from(t))).sum();
 
         DatasetStats {
             num_users,

@@ -48,10 +48,8 @@ pub fn generate(config: SynthConfig) -> Result<SynthDataset> {
     // Per-interval event posteriors P(x | t) ∝ weight_x * profile_x(t).
     let event_at_t: Vec<AliasTable> = (0..config.num_intervals)
         .map(|t| {
-            let weights: Vec<f64> = events
-                .iter()
-                .map(|e| (e.weight * e.profile[t]).max(1e-12))
-                .collect();
+            let weights: Vec<f64> =
+                events.iter().map(|e| (e.weight * e.profile[t]).max(1e-12)).collect();
             AliasTable::new(&weights).expect("event posterior is valid")
         })
         .collect();
@@ -66,8 +64,8 @@ pub fn generate(config: SynthConfig) -> Result<SynthDataset> {
     let n_active = config.user_active_intervals.min(config.num_intervals);
     for u in 0..config.num_users {
         let m_u = count_dist.sample(&mut rng);
-        let interest_table = AliasTable::new(&user_interest[u])
-            .expect("user interest is a valid distribution");
+        let interest_table =
+            AliasTable::new(&user_interest[u]).expect("user interest is a valid distribution");
         // Bursty sessions: this user is active in a few intervals drawn
         // from the global intensity; all their ratings land there.
         let mut active: Vec<usize> = Vec::with_capacity(n_active);
@@ -173,16 +171,11 @@ fn plant_popularity(config: &SynthConfig, rng: &mut Pcg64) -> Vec<f64> {
 /// on the latter. The shared head is what makes plain topic models
 /// degrade — popular items rank high in *every* topic (the paper's
 /// Section 3.3 premise) — and what the item-weighting scheme corrects.
-fn plant_user_topics(
-    config: &SynthConfig,
-    popularity: &[f64],
-    rng: &mut Pcg64,
-) -> Vec<Vec<f64>> {
+fn plant_user_topics(config: &SynthConfig, popularity: &[f64], rng: &mut Pcg64) -> Vec<Vec<f64>> {
     let k1 = config.num_user_topics;
     let v = config.num_items;
     let share = config.topic_popular_share;
-    let gamma = Gamma::new(config.topic_item_concentration, 1.0)
-        .expect("validated concentration");
+    let gamma = Gamma::new(config.topic_item_concentration, 1.0).expect("validated concentration");
     let mut assignment: Vec<usize> = (0..v).map(|i| i % k1).collect();
     rng.shuffle(&mut assignment);
     let pop_dist = tcam_math::vecops::normalized(popularity);
@@ -374,16 +367,11 @@ mod tests {
         let data = generate(cfg).unwrap();
         let event = &data.truth.events[0];
         let t = TimeId::from(event.center);
-        let core: std::collections::HashSet<u32> =
-            event.core_items.iter().map(|i| i.0).collect();
+        let core: std::collections::HashSet<u32> = event.core_items.iter().map(|i| i.0).collect();
         let at_center: Vec<_> = data.cuboid.time_entries(t).collect();
         let core_hits = at_center.iter().filter(|r| core.contains(&r.item.0)).count();
         // The dominant event at its center should own a visible share.
-        assert!(
-            core_hits > 0,
-            "no core-item ratings at event center (total {})",
-            at_center.len()
-        );
+        assert!(core_hits > 0, "no core-item ratings at event center (total {})", at_center.len());
     }
 
     #[test]
@@ -395,12 +383,7 @@ mod tests {
         // Note: duplicates merge, so user_nnz can be below the floor of
         // *generated* actions; check mass instead.
         for u in 0..data.cuboid.num_users() {
-            let mass: f64 = data
-                .cuboid
-                .user_entries(UserId::from(u))
-                .iter()
-                .map(|r| r.value)
-                .sum();
+            let mass: f64 = data.cuboid.user_entries(UserId::from(u)).iter().map(|r| r.value).sum();
             assert!(mass >= 5.0, "user {u} mass {mass}");
         }
     }

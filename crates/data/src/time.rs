@@ -32,10 +32,7 @@ impl TimeDiscretizer {
             });
         }
         if end <= origin {
-            return Err(DataError::InvalidConfig {
-                field: "end",
-                reason: "must be after origin",
-            });
+            return Err(DataError::InvalidConfig { field: "end", reason: "must be after origin" });
         }
         let span = end - origin;
         let num_intervals = ((span + interval_seconds - 1) / interval_seconds) as usize;

@@ -130,17 +130,19 @@ impl ItemWeighting {
     /// `N_t(v)`: distinct users who rated `v` during `t`.
     pub fn item_user_count_at(&self, item: ItemId, time: TimeId) -> u32 {
         let counts = &self.burst_counts[time.index()];
-        counts
-            .binary_search_by_key(&item.0, |&(v, _)| v)
-            .map(|i| counts[i].1)
-            .unwrap_or(0)
+        counts.binary_search_by_key(&item.0, |&(v, _)| v).map(|i| counts[i].1).unwrap_or(0)
     }
 
     /// Inverse user frequency `iuf(v) = log(N / N(v))` (Eq. 17).
     ///
-    /// Items never rated get the maximum iuf `log N` (they are maximally
-    /// salient); this only matters for degenerate test fixtures since
-    /// unrated items never appear in the cuboid.
+    /// Eq. 17 divides by `N(v)`, which is zero for an item no user ever
+    /// rated. The convention here: an unrated item is treated as rated
+    /// by one hypothetical user, giving the *maximum* iuf `log N`
+    /// (maximally salient) instead of `+inf`. Likewise an empty cuboid
+    /// (`N = 0`) yields `log(1/1) = 0` rather than `log 0 = -inf`. The
+    /// result is always finite; combined with the zero bursty degree of
+    /// an unrated item (see [`Self::bursty_degree`]) the full Eq. 19
+    /// weight of such cells is a well-defined 0.
     pub fn iuf(&self, item: ItemId) -> f64 {
         let nv = self.item_users[item.index()].max(1) as f64;
         ((self.n_users.max(1) as f64) / nv).ln()
@@ -150,6 +152,14 @@ impl ItemWeighting {
     ///
     /// Values above 1 mean `v`'s share of interval-t attention exceeds
     /// its overall attention share — the signature of a burst.
+    ///
+    /// Eq. 18 divides by both `N_t` and `N(v)`, which are zero for an
+    /// interval with no activity and for an unrated item respectively.
+    /// Both denominators are floored to 1, pinning the numerators'
+    /// zeros: an empty interval has `N_t(v) = 0` for every item and an
+    /// unrated item has `N_t(v) = 0` at every interval, so either case
+    /// yields a well-defined `B = 0` ("no burst where there is no
+    /// activity") instead of `0/0 = NaN`.
     pub fn bursty_degree(&self, item: ItemId, time: TimeId) -> f64 {
         let ntv = self.item_user_count_at(item, time) as f64;
         let nt = self.active_users_per_t[time.index()].max(1) as f64;
@@ -158,6 +168,11 @@ impl ItemWeighting {
     }
 
     /// Combined weight `w(v, t) = iuf(v) · B(v, t)` (Eq. 19).
+    ///
+    /// Finite for every `(v, t)`, including the degenerate cells Eq. 19
+    /// leaves undefined: an empty interval or an unrated item gives
+    /// `w = 0` (via `B = 0`), and an item rated by every user gives
+    /// `w = 0` (via `iuf = 0`).
     pub fn weight(&self, item: ItemId, time: TimeId) -> f64 {
         self.iuf(item) * self.bursty_degree(item, time)
     }
@@ -313,5 +328,79 @@ mod tests {
         let w = ItemWeighting::compute(&c);
         let profile = w.temporal_profile(ItemId(2));
         assert!(profile.iter().all(|&x| x == 0.0));
+    }
+
+    // --- Regression tests for the Eq. 17/18 division edge cases. ---
+
+    #[test]
+    fn empty_interval_has_zero_burst_not_nan() {
+        // Interval 1 of 3 has no activity at all: N_1 = 0, and Eq. 18's
+        // N_t(v)/N_t would be 0/0 for every item.
+        let c = RatingCuboid::from_ratings(3, 3, 2, vec![r(0, 0, 0), r(1, 2, 1)]).unwrap();
+        let w = ItemWeighting::compute(&c);
+        assert_eq!(w.active_users(TimeId(1)), 0);
+        for v in 0..2 {
+            let b = w.bursty_degree(ItemId(v), TimeId(1));
+            assert_eq!(b, 0.0, "empty interval must give B = 0, got {b}");
+            assert_eq!(w.weight(ItemId(v), TimeId(1)), 0.0);
+        }
+    }
+
+    #[test]
+    fn unrated_item_has_max_iuf_and_zero_weight() {
+        // Item 2 exists in the catalog but no one rated it: N(v) = 0,
+        // and both Eq. 17's N/N(v) and Eq. 18's N/N(v) would divide by
+        // zero.
+        let c = RatingCuboid::from_ratings(2, 2, 3, vec![r(0, 0, 0), r(1, 1, 1)]).unwrap();
+        let w = ItemWeighting::compute(&c);
+        assert_eq!(w.item_user_count(ItemId(2)), 0);
+        let iuf = w.iuf(ItemId(2));
+        assert!(iuf.is_finite());
+        assert!((iuf - 2.0_f64.ln()).abs() < 1e-12, "unrated item gets log N");
+        for t in 0..2 {
+            assert_eq!(w.bursty_degree(ItemId(2), TimeId(t)), 0.0);
+            assert_eq!(w.weight(ItemId(2), TimeId(t)), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_cuboid_weights_are_all_zero() {
+        // No ratings at all: N = 0, N_t = 0, N(v) = 0 everywhere.
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
+        let w = ItemWeighting::compute(&c);
+        assert_eq!(w.n_users(), 0);
+        for t in 0..2 {
+            for v in 0..2 {
+                assert_eq!(w.weight(ItemId(v), TimeId(t)), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_weights_finite_on_degenerate_cuboids() {
+        // Every scheme, every cell, across fixtures that exercise each
+        // zero denominator: no NaN or infinity may escape.
+        let fixtures = vec![
+            RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap(),
+            RatingCuboid::from_ratings(3, 3, 2, vec![r(0, 0, 0), r(1, 2, 1)]).unwrap(),
+            RatingCuboid::from_ratings(2, 2, 3, vec![r(0, 0, 0), r(1, 1, 1)]).unwrap(),
+            fixture(),
+        ];
+        for c in &fixtures {
+            let w = ItemWeighting::compute(c);
+            for scheme in [
+                WeightingScheme::Full,
+                WeightingScheme::IufOnly,
+                WeightingScheme::BurstOnly,
+                WeightingScheme::Damped,
+            ] {
+                for t in 0..c.num_times() {
+                    for v in 0..c.num_items() {
+                        let x = w.weight_with(scheme, ItemId(v as u32), TimeId(t as u32));
+                        assert!(x.is_finite(), "{scheme:?} weight(v{v}, t{t}) = {x} is not finite");
+                    }
+                }
+            }
+        }
     }
 }

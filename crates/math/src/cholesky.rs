@@ -6,7 +6,7 @@
 //! a Cholesky factorization `Lambda = L L^T` followed by triangular
 //! solves, which is what this module provides.
 
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
 #[derive(Debug, Clone)]
@@ -158,12 +158,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for a fixed B is SPD.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -200,10 +195,7 @@ mod tests {
     #[test]
     fn rejects_non_spd() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
-        assert!(matches!(
-            Cholesky::new(&a),
-            Err(MathError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(Cholesky::new(&a), Err(MathError::NotPositiveDefinite { .. })));
     }
 
     #[test]

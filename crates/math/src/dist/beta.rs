@@ -28,12 +28,7 @@ impl Beta {
         if !(beta > 0.0) || !beta.is_finite() {
             return Err(MathError::InvalidParameter { dist: "Beta", param: "beta" });
         }
-        Ok(Beta {
-            alpha,
-            beta,
-            ga: Gamma::new(alpha, 1.0)?,
-            gb: Gamma::new(beta, 1.0)?,
-        })
+        Ok(Beta { alpha, beta, ga: Gamma::new(alpha, 1.0)?, gb: Gamma::new(beta, 1.0)? })
     }
 
     /// Mean `alpha / (alpha + beta)`.

@@ -41,11 +41,7 @@ impl Dirichlet {
         let mut draws: Vec<f64> = self
             .alpha
             .iter()
-            .map(|&a| {
-                Gamma::new(a, 1.0)
-                    .expect("alpha validated at construction")
-                    .sample(rng)
-            })
+            .map(|&a| Gamma::new(a, 1.0).expect("alpha validated at construction").sample(rng))
             .collect();
         let total: f64 = draws.iter().sum();
         if total > 0.0 {

@@ -3,7 +3,7 @@
 use super::normal::standard_normal;
 use crate::cholesky::Cholesky;
 use crate::rng::Pcg64;
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Multivariate normal `N(mean, covariance)` with a precomputed Cholesky
 /// factor so that repeated sampling (as in BPTF's per-entity Gibbs

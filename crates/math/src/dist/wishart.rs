@@ -4,7 +4,7 @@ use super::chi2::ChiSquared;
 use super::normal::standard_normal;
 use crate::cholesky::Cholesky;
 use crate::rng::Pcg64;
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Wishart distribution `W(scale, dof)` with mean `dof * scale`.
 ///
@@ -29,9 +29,8 @@ impl Wishart {
             return Err(MathError::InvalidParameter { dist: "Wishart", param: "dof" });
         }
         let scale_chol = Cholesky::new(scale)?;
-        let chi2s = (0..dim)
-            .map(|i| ChiSquared::new(dof - i as f64))
-            .collect::<Result<Vec<_>>>()?;
+        let chi2s =
+            (0..dim).map(|i| ChiSquared::new(dof - i as f64)).collect::<Result<Vec<_>>>()?;
         Ok(Wishart { dim, dof, scale_chol, chi2s })
     }
 
@@ -57,11 +56,7 @@ impl Wishart {
             }
         }
         // L A (lower triangular product), then (LA)(LA)ᵀ.
-        let la = self
-            .scale_chol
-            .lower()
-            .matmul(&a)
-            .expect("square matrices of equal dim");
+        let la = self.scale_chol.lower().matmul(&a).expect("square matrices of equal dim");
         let mut out = la.matmul(&la.transpose()).expect("square");
         out.symmetrize();
         out

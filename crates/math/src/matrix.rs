@@ -231,11 +231,7 @@ impl Matrix {
         if self.rows != other.rows || self.cols != other.cols {
             return f64::INFINITY;
         }
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Symmetrizes the matrix in place: `self = (self + selfᵀ) / 2`.

@@ -7,16 +7,13 @@
 //! small, fast, and has excellent statistical quality for simulation
 //! workloads.
 
-use rand::{RngCore, SeedableRng};
-
 const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
 const DEFAULT_INC: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
 
 /// PCG-XSL-RR 128/64 pseudo-random generator.
 ///
-/// Implements [`rand::RngCore`] so it composes with the `rand` ecosystem
-/// while remaining a fixed, documented algorithm (reproducibility is not
-/// tied to `rand`'s unspecified `StdRng` internals).
+/// A fixed, documented algorithm (reproducibility is not tied to any
+/// external crate's unspecified generator internals).
 #[derive(Debug, Clone)]
 pub struct Pcg64 {
     state: u128,
@@ -43,10 +40,7 @@ impl Pcg64 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(MULTIPLIER)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
     }
 
     /// Next raw 64-bit output.
@@ -113,18 +107,14 @@ impl Pcg64 {
             xs.swap(i, j);
         }
     }
-}
 
-impl RngCore for Pcg64 {
-    fn next_u32(&mut self) -> u32 {
+    /// Next 32-bit output (the high half, which has the best quality).
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_u64_raw() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills a byte slice with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
@@ -136,16 +126,9 @@ impl RngCore for Pcg64 {
         }
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Pcg64 {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
+    /// Recreates a generator from a little-endian seed, the inverse of
+    /// seeding with [`Pcg64::new`].
+    pub fn from_seed(seed: [u8; 8]) -> Self {
         Pcg64::new(u64::from_le_bytes(seed))
     }
 }

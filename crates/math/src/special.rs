@@ -41,10 +41,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Numerically stable `log(sum_i exp(x_i))`.
@@ -61,10 +60,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 
 /// Shannon entropy (nats) of a probability vector; ignores zero entries.
 pub fn entropy(p: &[f64]) -> f64 {
-    -p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| x * x.ln())
-        .sum::<f64>()
+    -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>()
 }
 
 /// KL divergence `KL(p || q)` in nats.

@@ -163,11 +163,8 @@ mod tests {
         for _ in 0..20 {
             let scores: Vec<f64> = (0..100).map(|_| rng.next_f64()).collect();
             let top = top_k_of_slice(&scores, 10);
-            let mut full: Vec<Scored> = scores
-                .iter()
-                .enumerate()
-                .map(|(index, &score)| Scored { index, score })
-                .collect();
+            let mut full: Vec<Scored> =
+                scores.iter().enumerate().map(|(index, &score)| Scored { index, score }).collect();
             full.sort_by(|a, b| b.cmp(a));
             for (a, b) in top.iter().zip(full.iter().take(10)) {
                 assert_eq!(a.index, b.index);

@@ -137,8 +137,7 @@ pub fn queries_of_split(split: &Split, policy: ExcludePolicy) -> Vec<Query> {
             while end < entries.len() && entries[end].time == t {
                 end += 1;
             }
-            let relevant: Vec<usize> =
-                entries[start..end].iter().map(|r| r.item.index()).collect();
+            let relevant: Vec<usize> = entries[start..end].iter().map(|r| r.item.index()).collect();
             let mut excluded: Vec<usize> = match policy {
                 ExcludePolicy::None => Vec::new(),
                 ExcludePolicy::SameInterval => split
@@ -148,12 +147,9 @@ pub fn queries_of_split(split: &Split, policy: ExcludePolicy) -> Vec<Query> {
                     .filter(|r| r.time == t)
                     .map(|r| r.item.index())
                     .collect(),
-                ExcludePolicy::AllUserItems => split
-                    .train
-                    .user_entries(user)
-                    .iter()
-                    .map(|r| r.item.index())
-                    .collect(),
+                ExcludePolicy::AllUserItems => {
+                    split.train.user_entries(user).iter().map(|r| r.item.index()).collect()
+                }
             };
             excluded.sort_unstable();
             excluded.dedup();
@@ -191,17 +187,13 @@ pub fn evaluate_queries<S: TemporalScorer + ?Sized>(
     let partials: Vec<(Vec<RankingMetrics>, usize, Duration)> = if threads <= 1 {
         vec![eval_chunk(scorer, queries, k_max)]
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move |_| eval_chunk(scorer, chunk, k_max)))
+                .map(|chunk| scope.spawn(move || eval_chunk(scorer, chunk, k_max)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("evaluation worker panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
         })
-        .expect("crossbeam scope failed")
     };
 
     let mut sums = vec![RankingMetrics::default(); k_max];
@@ -314,7 +306,7 @@ pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
 mod tests {
     use super::*;
     use tcam_baselines::MostPopular;
-    use tcam_data::{train_test_split, synth};
+    use tcam_data::{synth, train_test_split};
     use tcam_math::Pcg64;
 
     fn split_of_tiny(seed: u64) -> Split {
@@ -367,11 +359,8 @@ mod tests {
         let split = split_of_tiny(4);
         let model = MostPopular::fit(&split.train);
         let serial = evaluate(&model, &split, &EvalConfig::default());
-        let parallel = evaluate(
-            &model,
-            &split,
-            &EvalConfig { num_threads: 4, ..EvalConfig::default() },
-        );
+        let parallel =
+            evaluate(&model, &split, &EvalConfig { num_threads: 4, ..EvalConfig::default() });
         assert_eq!(serial.num_queries, parallel.num_queries);
         for (a, b) in serial.per_k.iter().zip(parallel.per_k.iter()) {
             assert!((a.ndcg - b.ndcg).abs() < 1e-12);

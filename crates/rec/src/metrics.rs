@@ -158,8 +158,7 @@ mod tests {
         // Exhaustive-ish sweep of tiny cases keeps every metric in [0,1].
         for k in 1..5 {
             for rel_mask in 0u32..32 {
-                let relevant: Vec<usize> =
-                    (0..5).filter(|i| rel_mask & (1 << i) != 0).collect();
+                let relevant: Vec<usize> = (0..5).filter(|i| rel_mask & (1 << i) != 0).collect();
                 let ranked = [4usize, 2, 0, 3, 1];
                 let m = metrics_at_k(&ranked, &relevant, k);
                 for value in [

@@ -325,10 +325,8 @@ mod tests {
         // The factor decomposition (Eq. 22) must reproduce the mixture
         // likelihood (Eq. 1) exactly, for both TCAM variants.
         let data = synth::SynthDataset::generate(synth::tiny(80)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(4)
-            .with_time_topics(3)
-            .with_iterations(5);
+        let config =
+            FitConfig::default().with_user_topics(4).with_time_topics(3).with_iterations(5);
         let ttcam = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let itcam = ItcamModel::fit(&data.cuboid, &config).unwrap().model;
 
@@ -336,14 +334,8 @@ mod tests {
         let t = TimeId(2);
         for v in 0..data.cuboid.num_items() {
             for (direct, via_factors) in [
-                (
-                    TemporalScorer::score(&ttcam, u, t, v),
-                    factored_score(&ttcam, u, t, v),
-                ),
-                (
-                    TemporalScorer::score(&itcam, u, t, v),
-                    factored_score(&itcam, u, t, v),
-                ),
+                (TemporalScorer::score(&ttcam, u, t, v), factored_score(&ttcam, u, t, v)),
+                (TemporalScorer::score(&itcam, u, t, v), factored_score(&itcam, u, t, v)),
             ] {
                 assert!(
                     (direct - via_factors).abs() < 1e-12,
@@ -354,36 +346,25 @@ mod tests {
     }
 
     fn factored_score<S: FactoredScorer>(s: &S, u: UserId, t: TimeId, v: usize) -> f64 {
-        s.query_factors(u, t)
-            .iter()
-            .map(|&(z, w)| w * s.factor_items(z)[v])
-            .sum()
+        s.query_factors(u, t).iter().map(|&(z, w)| w * s.factor_items(z)[v]).sum()
     }
 
     #[test]
     fn query_factor_weights_sum_to_one() {
         // vartheta_q is a distribution over the expanded topic space.
         let data = synth::SynthDataset::generate(synth::tiny(81)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(4)
-            .with_time_topics(3)
-            .with_iterations(5);
+        let config =
+            FitConfig::default().with_user_topics(4).with_time_topics(3).with_iterations(5);
         let ttcam = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
-        let total: f64 = ttcam
-            .query_factors(UserId(0), TimeId(0))
-            .iter()
-            .map(|&(_, w)| w)
-            .sum();
+        let total: f64 = ttcam.query_factors(UserId(0), TimeId(0)).iter().map(|&(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn named_wrapper_relabels() {
         let data = synth::SynthDataset::generate(synth::tiny(82)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(2);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(2);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let named = Named::new("W-TTCAM", model);
         assert_eq!(named.name(), "W-TTCAM");

@@ -88,10 +88,7 @@ impl TaIndex {
         let mut head_contrib: Vec<f64> = lists
             .iter()
             .map(|l| {
-                l.items
-                    .first()
-                    .map(|&v| l.query_weight * l.weights[v as usize])
-                    .unwrap_or(0.0)
+                l.items.first().map(|&v| l.query_weight * l.weights[v as usize]).unwrap_or(0.0)
             })
             .collect();
         let mut threshold: f64 = head_contrib.iter().sum();
@@ -169,6 +166,13 @@ pub struct TaResult {
 /// Brute-force top-k (TCAM-BF / the only option for BPTF): score every
 /// item and keep the best `k`. `buffer` must have length `num_items` and
 /// is reused across queries to avoid per-query allocation.
+///
+/// # Panics
+///
+/// Panics if `buffer.len() != scorer.num_items()`. A short buffer would
+/// silently rank only a prefix of the catalog (and an oversized one
+/// would rank garbage tail slots), so the mismatch is rejected up front
+/// rather than left to each scorer's `score_all`.
 pub fn brute_force_top_k<S: TemporalScorer + ?Sized>(
     scorer: &S,
     user: UserId,
@@ -176,6 +180,14 @@ pub fn brute_force_top_k<S: TemporalScorer + ?Sized>(
     k: usize,
     buffer: &mut [f64],
 ) -> Vec<Scored> {
+    assert_eq!(
+        buffer.len(),
+        scorer.num_items(),
+        "brute_force_top_k: buffer length must equal the catalog size \
+         ({} items) — got {}",
+        scorer.num_items(),
+        buffer.len()
+    );
     scorer.score_all(user, time, buffer);
     tcam_math::topk::top_k_of_slice(buffer, k)
 }
@@ -203,10 +215,8 @@ mod tests {
     #[test]
     fn ta_matches_brute_force_ttcam() {
         let data = synth::SynthDataset::generate(synth::tiny(90)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(4)
-            .with_time_topics(3)
-            .with_iterations(8);
+        let config =
+            FitConfig::default().with_user_topics(4).with_time_topics(3).with_iterations(8);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         let mut buffer = vec![0.0; model.num_items()];
@@ -240,10 +250,8 @@ mod tests {
     #[test]
     fn ta_examines_fewer_items_than_catalog() {
         let data = synth::SynthDataset::generate(synth::tiny(92)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(4)
-            .with_time_topics(3)
-            .with_iterations(8);
+        let config =
+            FitConfig::default().with_user_topics(4).with_time_topics(3).with_iterations(8);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         let mut total_examined = 0usize;
@@ -263,10 +271,8 @@ mod tests {
     #[test]
     fn k_larger_than_catalog() {
         let data = synth::SynthDataset::generate(synth::tiny(93)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(3);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(3);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         let result = index.top_k(&model, UserId(0), TimeId(0), 10_000);
@@ -276,10 +282,8 @@ mod tests {
     #[test]
     fn k_zero_returns_empty() {
         let data = synth::SynthDataset::generate(synth::tiny(94)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(3);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(3);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         let result = index.top_k(&model, UserId(0), TimeId(0), 0);
@@ -287,12 +291,32 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "buffer length must equal the catalog size")]
+    fn brute_force_rejects_short_buffer() {
+        let data = synth::SynthDataset::generate(synth::tiny(96)).unwrap();
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(2);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let mut short = vec![0.0; model.num_items() - 1];
+        brute_force_top_k(&model, UserId(0), TimeId(0), 5, &mut short);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length must equal the catalog size")]
+    fn brute_force_rejects_oversized_buffer() {
+        let data = synth::SynthDataset::generate(synth::tiny(97)).unwrap();
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(2);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let mut long = vec![0.0; model.num_items() + 1];
+        brute_force_top_k(&model, UserId(0), TimeId(0), 5, &mut long);
+    }
+
+    #[test]
     fn index_shape_matches_model() {
         let data = synth::SynthDataset::generate(synth::tiny(95)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(2);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(2);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         assert_eq!(index.num_lists(), 6, "K1 + K2 + background");

@@ -53,10 +53,8 @@ pub fn mean_items_examined<S: FactoredScorer>(
     if queries.is_empty() {
         return 0.0;
     }
-    let total: usize = queries
-        .iter()
-        .map(|&(u, t)| index.top_k(scorer, u, t, k).items_examined)
-        .sum();
+    let total: usize =
+        queries.iter().map(|&(u, t)| index.top_k(scorer, u, t, k).items_examined).sum();
     total as f64 / queries.len() as f64
 }
 
@@ -79,14 +77,11 @@ mod tests {
     #[test]
     fn timing_helpers_run() {
         let data = synth::SynthDataset::generate(synth::tiny(100)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(3);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(3);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
-        let queries: Vec<(UserId, TimeId)> =
-            (0..5).map(|u| (UserId(u), TimeId(0))).collect();
+        let queries: Vec<(UserId, TimeId)> = (0..5).map(|u| (UserId(u), TimeId(0))).collect();
         let bf = time_brute_force(&model, &queries, 5);
         let ta = time_ta(&model, &index, &queries, 5);
         assert!(bf > Duration::ZERO || ta >= Duration::ZERO);
@@ -98,10 +93,8 @@ mod tests {
     #[test]
     fn empty_queries_are_safe() {
         let data = synth::SynthDataset::generate(synth::tiny(101)).unwrap();
-        let config = FitConfig::default()
-            .with_user_topics(3)
-            .with_time_topics(2)
-            .with_iterations(2);
+        let config =
+            FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(2);
         let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
         let index = TaIndex::build(&model);
         assert_eq!(mean_items_examined(&model, &index, &[], 5), 0.0);

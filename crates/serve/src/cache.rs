@@ -1,0 +1,324 @@
+//! Bounded, sharded LRU cache over query results.
+//!
+//! Social-media query traffic is heavy-tailed (the same reason the
+//! synthetic generators draw users from a Zipf), so a small cache keyed
+//! by the full query `(user, time, k)` absorbs a large share of load.
+//! The cache is split into independently locked shards so concurrent
+//! workers rarely contend; hit/miss counters are lock-free atomics and
+//! feed the [`crate::ServingStats`] hit rate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tcam_math::topk::Scored;
+
+/// Cache key: `(user, time, k)` of a temporal top-k query.
+pub type CacheKey = (u32, u32, u32);
+
+/// Sentinel slot index for "no neighbor" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<Vec<Scored>>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked LRU segment: a hash map from key to slot
+/// plus an intrusive doubly linked recency list over the slot arena.
+struct LruShard {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot — the eviction victim.
+    tail: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<Scored>>> {
+        let &i = self.map.get(key)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<Vec<Scored>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.detach(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Evict the LRU entry and reuse its slot.
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        } else {
+            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// The sharded cache. Capacity is split evenly across shards; a total
+/// capacity of zero disables caching entirely (every get is a miss,
+/// inserts are dropped).
+pub struct TopKCache {
+    shards: Box<[Mutex<LruShard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TopKCache {
+    /// Creates a cache holding at most roughly `capacity` entries
+    /// across `num_shards` independently locked segments.
+    pub fn new(capacity: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let per_shard = capacity.div_ceil(num_shards);
+        let shards = (0..num_shards)
+            .map(|_| Mutex::new(LruShard::new(if capacity == 0 { 0 } else { per_shard })))
+            .collect();
+        TopKCache { shards, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
+        // FNV-1a over the key words; shard count is small so modulo bias
+        // is irrelevant.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [key.0, key.1, key.2] {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a query result, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Scored>>> {
+        let result = self.shard(key).lock().expect("cache shard poisoned").get(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Stores a query result, evicting the shard's LRU entry if full.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Scored>>) {
+        self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
+    }
+
+    /// Drops every entry (used on snapshot swap); counters are kept.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Current number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").capacity).sum()
+    }
+
+    /// Number of independently locked segments.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+impl std::fmt::Debug for TopKCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKCache")
+            .field("shards", &self.num_shards())
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(score: f64) -> Arc<Vec<Scored>> {
+        Arc::new(vec![Scored { index: 0, score }])
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let cache = TopKCache::new(8, 2);
+        assert!(cache.get(&(1, 2, 3)).is_none());
+        cache.insert((1, 2, 3), entry(0.5));
+        let got = cache.get(&(1, 2, 3)).expect("inserted");
+        assert_eq!(got[0].score, 0.5);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // One shard so the recency order is fully observable.
+        let cache = TopKCache::new(2, 1);
+        cache.insert((0, 0, 0), entry(0.0));
+        cache.insert((1, 0, 0), entry(1.0));
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.get(&(0, 0, 0)).is_some());
+        cache.insert((2, 0, 0), entry(2.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&(1, 0, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&(0, 0, 0)).is_some(), "recently used survives");
+        assert!(cache.get(&(2, 0, 0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let cache = TopKCache::new(2, 1);
+        cache.insert((0, 0, 0), entry(0.0));
+        cache.insert((1, 0, 0), entry(1.0));
+        cache.insert((0, 0, 0), entry(9.0));
+        // Key 1 is now the LRU entry.
+        cache.insert((2, 0, 0), entry(2.0));
+        assert!(cache.get(&(1, 0, 0)).is_none());
+        assert_eq!(cache.get(&(0, 0, 0)).expect("kept")[0].score, 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = TopKCache::new(0, 4);
+        cache.insert((0, 0, 0), entry(0.0));
+        assert!(cache.get(&(0, 0, 0)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = TopKCache::new(8, 4);
+        for u in 0..8u32 {
+            cache.insert((u, 0, 0), entry(f64::from(u)));
+        }
+        assert!(cache.get(&(3, 0, 0)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1, "counters survive a snapshot swap");
+        assert!(cache.get(&(3, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn sharding_spreads_and_respects_total_capacity() {
+        let cache = TopKCache::new(64, 8);
+        assert_eq!(cache.num_shards(), 8);
+        for u in 0..200u32 {
+            cache.insert((u, u % 5, 10), entry(f64::from(u)));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.len() > 8, "entries land in multiple shards");
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = TopKCache::new(128, 8);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..500u32 {
+                        let key = (i % 50, t, 10);
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, entry(f64::from(i)));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 2000);
+        assert!(cache.len() <= cache.capacity());
+    }
+}

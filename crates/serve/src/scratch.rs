@@ -1,0 +1,169 @@
+//! Reusable per-worker scratch buffers.
+//!
+//! The brute-force and fold-in scoring paths need one `f64` slot per
+//! catalog item. Allocating that per query would dominate small-catalog
+//! latency, so workers check a [`Scratch`] out of a shared pool, reuse
+//! it for every query they answer, and return it on drop. In steady
+//! state the pool holds one buffer per concurrent worker and the query
+//! path performs no heap allocation beyond its result vector.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable per-worker buffer.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    scores: Vec<f64>,
+}
+
+impl Scratch {
+    /// A zeroed score slice of exactly `num_items` slots. Resizing is a
+    /// no-op once the buffer has been used against the current catalog,
+    /// so repeated queries do not reallocate.
+    pub fn scores(&mut self, num_items: usize) -> &mut [f64] {
+        if self.scores.len() != num_items {
+            self.scores.resize(num_items, 0.0);
+        }
+        &mut self.scores
+    }
+
+    /// Current buffer length (0 until first use).
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the buffer has never been sized.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+/// A lock-guarded free list of [`Scratch`] buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    idle: Mutex<Vec<Scratch>>,
+    created: AtomicUsize,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; buffers are created lazily on first
+    /// checkout and recycled thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer out of the pool (allocating a fresh one only when
+    /// the pool is empty). The buffer returns to the pool when the
+    /// guard drops.
+    pub fn checkout(&self) -> ScratchGuard<'_> {
+        let recycled = self.idle.lock().expect("scratch pool poisoned").pop();
+        let scratch = recycled.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Scratch::default()
+        });
+        ScratchGuard { pool: self, scratch: Some(scratch) }
+    }
+
+    /// Total buffers ever allocated — in steady state this equals the
+    /// peak number of concurrent workers, not the query count.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// RAII handle returning its buffer to the pool on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<Scratch>,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.idle.lock().expect("scratch pool poisoned").push(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_checkouts_reuse_one_buffer() {
+        let pool = ScratchPool::new();
+        for _ in 0..100 {
+            let mut guard = pool.checkout();
+            let scores = guard.scores(64);
+            scores[0] = 1.0;
+        }
+        assert_eq!(pool.created(), 1, "drop must recycle, not leak");
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let pool = ScratchPool::new();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.created(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+        // Both come back out of the pool without new allocations.
+        let _c = pool.checkout();
+        let _d = pool.checkout();
+        assert_eq!(pool.created(), 2);
+    }
+
+    #[test]
+    fn scores_resize_is_stable() {
+        let pool = ScratchPool::new();
+        let mut guard = pool.checkout();
+        assert!(guard.is_empty());
+        guard.scores(10)[9] = 3.0;
+        assert_eq!(guard.len(), 10);
+        // Same size: contents slot count unchanged.
+        assert_eq!(guard.scores(10).len(), 10);
+        // Catalog change (snapshot swap): buffer follows.
+        assert_eq!(guard.scores(4).len(), 4);
+    }
+
+    #[test]
+    fn pool_is_usable_across_threads() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let mut guard = pool.checkout();
+                        let scores = guard.scores(32);
+                        scores[31] += 1.0;
+                    }
+                });
+            }
+        });
+        assert!(pool.created() <= 4, "at most one buffer per worker");
+        assert_eq!(pool.idle(), pool.created());
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`core`] — the ITCAM / TTCAM mixture models with EM inference,
 //! * [`baselines`] — UT, TT, BPRMF, BPTF, and popularity scorers,
 //! * [`rec`] — temporal top-k recommendation (TA algorithm, metrics,
-//!   evaluation harness).
+//!   evaluation harness),
+//! * [`serve`] — the online serving engine (snapshot swap, sharded LRU
+//!   response cache, batch queries, fold-in backoff, serving stats).
 //!
 //! ## Quickstart
 //!
@@ -45,12 +47,13 @@ pub use tcam_core as core;
 pub use tcam_data as data;
 pub use tcam_math as math;
 pub use tcam_rec as rec;
+pub use tcam_serve as serve;
 
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use tcam_baselines::{
-        Bprmf, BprmfConfig, Bptf, BptfConfig, MostPopular, TimePopular, TimeTopicModel,
-        TtConfig, UserTopicModel, UtConfig,
+        Bprmf, BprmfConfig, Bptf, BptfConfig, MostPopular, TimePopular, TimeTopicModel, TtConfig,
+        UserTopicModel, UtConfig,
     };
     pub use tcam_core::{FitConfig, FitResult, ItcamModel, TtcamModel};
     pub use tcam_data::{
@@ -62,6 +65,7 @@ pub mod prelude {
         brute_force_top_k, evaluate, EvalConfig, EvalReport, FactoredScorer, TaIndex,
         TemporalScorer,
     };
+    pub use tcam_serve::{ModelSnapshot, Query, ServeConfig, ServeEngine};
 }
 
 #[cfg(test)]

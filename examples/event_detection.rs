@@ -17,8 +17,8 @@ use tcam::prelude::*;
 fn main() {
     let seed = 17;
     println!("generating a delicious-like tagging dataset...");
-    let data = SynthDataset::generate(tcam::data::synth::delicious_like(0.2, seed))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::delicious_like(0.2, seed)).expect("generation");
 
     let config = FitConfig::default()
         .with_user_topics(10)
@@ -51,10 +51,7 @@ fn main() {
         let (topic, mass) = best_matching_time_topic(model, &event.core_items);
         let peak = topic_peak_interval(model, topic);
         let top = top_items(model.time_topic(topic), 6);
-        let core_hits = top
-            .iter()
-            .filter(|(item, _)| event.core_items.contains(item))
-            .count();
+        let core_hits = top.iter().filter(|(item, _)| event.core_items.contains(item)).count();
         println!(
             "\n{name}: best-matching time-topic-{topic} (core mass {mass:.3}) peaks at \
              interval {} — {core_hits}/6 top tags are true event tags:",
@@ -71,9 +68,7 @@ fn main() {
     println!("\ndiscovered time-oriented topics by burstiness (W-TTCAM):");
     let mut summaries = time_topic_summaries(&wtt, 4);
     summaries.sort_by(|a, b| {
-        profile_burstiness(&b.profile)
-            .partial_cmp(&profile_burstiness(&a.profile))
-            .expect("finite")
+        profile_burstiness(&b.profile).partial_cmp(&profile_burstiness(&a.profile)).expect("finite")
     });
     for s in summaries.iter().take(5) {
         println!("  {:<14} {:>5.1}x  {}", s.label, profile_burstiness(&s.profile), s.to_line());

@@ -13,8 +13,8 @@ use tcam::rec::brute_force_top_k;
 fn main() {
     let seed = 19;
     println!("generating a douban-like dataset (large catalog)...");
-    let data = SynthDataset::generate(tcam::data::synth::douban_like(0.5, seed))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::douban_like(0.5, seed)).expect("generation");
     println!("catalog: {} items", data.cuboid.num_items());
 
     let config = FitConfig::default()

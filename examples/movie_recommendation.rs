@@ -14,8 +14,8 @@ use tcam::prelude::*;
 fn main() {
     let seed = 13;
     println!("generating a movielens-like dataset...");
-    let data = SynthDataset::generate(tcam::data::synth::movielens_like(0.15, seed))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::movielens_like(0.15, seed)).expect("generation");
     let split = train_test_split(&data.cuboid, 0.2, &mut Pcg64::new(seed));
 
     let iters = 25;
@@ -33,11 +33,9 @@ fn main() {
         &UtConfig { num_topics: 12, max_iterations: iters, seed, ..UtConfig::default() },
     )
     .expect("ut");
-    let bprmf = Bprmf::fit(
-        &split.train,
-        &BprmfConfig { num_epochs: 30, seed, ..BprmfConfig::default() },
-    )
-    .expect("bprmf");
+    let bprmf =
+        Bprmf::fit(&split.train, &BprmfConfig { num_epochs: 30, seed, ..BprmfConfig::default() })
+            .expect("bprmf");
 
     // Lambda analysis: movie watchers should be interest-driven.
     let active = split.train.active_users();
@@ -54,7 +52,11 @@ fn main() {
     let eval_cfg = EvalConfig::default();
     println!();
     for report in [
-        evaluate(tcam::rec::scorer::Named::new("W-TTCAM", wttcam.clone()).inner(), &split, &eval_cfg),
+        evaluate(
+            tcam::rec::scorer::Named::new("W-TTCAM", wttcam.clone()).inner(),
+            &split,
+            &eval_cfg,
+        ),
         evaluate(&ut, &split, &eval_cfg),
         evaluate(&bprmf, &split, &eval_cfg),
     ] {

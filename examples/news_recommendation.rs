@@ -16,8 +16,8 @@ use tcam::prelude::*;
 fn main() {
     let seed = 11;
     println!("generating a digg-like news dataset...");
-    let data = SynthDataset::generate(tcam::data::synth::digg_like(0.15, seed))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::digg_like(0.15, seed)).expect("generation");
     let split = train_test_split(&data.cuboid, 0.2, &mut Pcg64::new(seed));
 
     let iters = 25;
@@ -44,8 +44,7 @@ fn main() {
     let active = split.train.active_users();
     let lambdas: Vec<f64> = active.iter().map(|&u| ttcam.lambda(u)).collect();
     let mean = lambdas.iter().sum::<f64>() / lambdas.len() as f64;
-    let context_driven =
-        lambdas.iter().filter(|&&l| l < 0.5).count() as f64 / lambdas.len() as f64;
+    let context_driven = lambdas.iter().filter(|&&l| l < 0.5).count() as f64 / lambdas.len() as f64;
     println!(
         "\nlearned influence: mean lambda = {mean:.2}; {:.0}% of users are \
          context-driven (lambda < 0.5)",

@@ -48,8 +48,7 @@ fn get(results: &[(String, f64)], name: &str) -> f64 {
 
 #[test]
 fn digg_like_orderings_hold() {
-    let data =
-        SynthDataset::generate(tcam::data::synth::digg_like(0.12, 3)).expect("generation");
+    let data = SynthDataset::generate(tcam::data::synth::digg_like(0.12, 3)).expect("generation");
     let results = ndcg5_by_model(&data, 3);
     eprintln!("digg-like NDCG@5: {results:?}");
 
@@ -71,16 +70,13 @@ fn digg_like_orderings_hold() {
     // it must still beat the non-temporal UT baseline and stay within
     // striking distance of the unweighted model.
     assert!(wttcam > ut, "W-TTCAM ({wttcam:.4}) must beat UT ({ut:.4})");
-    assert!(
-        wttcam > 0.5 * ttcam,
-        "W-TTCAM ({wttcam:.4}) collapsed relative to TTCAM ({ttcam:.4})"
-    );
+    assert!(wttcam > 0.5 * ttcam, "W-TTCAM ({wttcam:.4}) collapsed relative to TTCAM ({ttcam:.4})");
 }
 
 #[test]
 fn movielens_like_orderings_hold() {
-    let data = SynthDataset::generate(tcam::data::synth::movielens_like(0.12, 4))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::movielens_like(0.12, 4)).expect("generation");
     let results = ndcg5_by_model(&data, 4);
     eprintln!("movielens-like NDCG@5: {results:?}");
 
@@ -101,8 +97,8 @@ fn weighting_improves_event_topic_quality() {
     // Averaged over the strongest planted events, W-TTCAM's
     // best-matching time topics put more mass on the planted core items
     // than TTCAM's (the Section 3.3 mechanism).
-    let data = SynthDataset::generate(tcam::data::synth::delicious_like(0.25, 5))
-        .expect("generation");
+    let data =
+        SynthDataset::generate(tcam::data::synth::delicious_like(0.25, 5)).expect("generation");
     let config = FitConfig::default()
         .with_user_topics(12)
         .with_time_topics(16)

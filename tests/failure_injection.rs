@@ -29,10 +29,7 @@ fn empty_cuboid_rejected_by_all_models() {
 #[test]
 fn single_cell_dataset_fits_without_nans() {
     let c = single_cell_cuboid();
-    let config = FitConfig::default()
-        .with_user_topics(2)
-        .with_time_topics(2)
-        .with_iterations(5);
+    let config = FitConfig::default().with_user_topics(2).with_time_topics(2).with_iterations(5);
     let model = TtcamModel::fit(&c, &config).expect("degenerate fit should work").model;
     let mut scores = vec![0.0; 2];
     model.predict_all(UserId(0), TimeId(0), &mut scores);
@@ -44,10 +41,7 @@ fn single_cell_dataset_fits_without_nans() {
 #[test]
 fn more_topics_than_items_is_survivable() {
     let c = single_cell_cuboid();
-    let config = FitConfig::default()
-        .with_user_topics(10)
-        .with_time_topics(10)
-        .with_iterations(3);
+    let config = FitConfig::default().with_user_topics(10).with_time_topics(10).with_iterations(3);
     let model = TtcamModel::fit(&c, &config).expect("over-parameterized fit").model;
     assert!(model.predict(UserId(0), TimeId(0), 0).is_finite());
 }
@@ -60,22 +54,14 @@ fn weighting_handles_unanimous_popularity() {
     let mut ratings = Vec::new();
     for u in 0..4u32 {
         for t in 0..3u32 {
-            ratings.push(Rating {
-                user: UserId(u),
-                time: TimeId(t),
-                item: ItemId(0),
-                value: 1.0,
-            });
+            ratings.push(Rating { user: UserId(u), time: TimeId(t), item: ItemId(0), value: 1.0 });
         }
     }
     let c = RatingCuboid::from_ratings(4, 3, 2, ratings).expect("valid");
     let weighted = ItemWeighting::compute(&c).apply(&c);
     assert_eq!(weighted.nnz(), c.nnz());
     assert!(weighted.total_mass() > 0.0);
-    let config = FitConfig::default()
-        .with_user_topics(2)
-        .with_time_topics(2)
-        .with_iterations(5);
+    let config = FitConfig::default().with_user_topics(2).with_time_topics(2).with_iterations(5);
     let model = TtcamModel::fit(&weighted, &config).expect("fit on floored cuboid").model;
     assert!(model.log_likelihood(&c).is_finite());
 }
@@ -90,10 +76,7 @@ fn users_with_no_ratings_keep_neutral_lambda() {
         Rating { user: UserId(1), time: TimeId(0), item: ItemId(1), value: 1.0 },
     ];
     let c = RatingCuboid::from_ratings(3, 2, 3, ratings).expect("valid");
-    let config = FitConfig::default()
-        .with_user_topics(2)
-        .with_time_topics(2)
-        .with_iterations(10);
+    let config = FitConfig::default().with_user_topics(2).with_time_topics(2).with_iterations(10);
     let model = TtcamModel::fit(&c, &config).expect("fit").model;
     assert_eq!(model.lambda(UserId(2)), 0.5, "cold user keeps the neutral prior");
     let mut scores = vec![0.0; 3];
@@ -122,10 +105,7 @@ fn extreme_rating_values_stay_finite() {
         Rating { user: UserId(1), time: TimeId(1), item: ItemId(0), value: 3.0 },
     ];
     let c = RatingCuboid::from_ratings(2, 2, 2, ratings).expect("valid");
-    let config = FitConfig::default()
-        .with_user_topics(2)
-        .with_time_topics(2)
-        .with_iterations(10);
+    let config = FitConfig::default().with_user_topics(2).with_time_topics(2).with_iterations(10);
     let fit = TtcamModel::fit(&c, &config).expect("fit");
     assert!(fit.final_log_likelihood().is_finite());
     for w in fit.trace.windows(2) {
@@ -162,11 +142,8 @@ fn bprmf_user_who_rated_everything() {
     }
     ratings.push(Rating { user: UserId(1), time: TimeId(0), item: ItemId(0), value: 1.0 });
     let c = RatingCuboid::from_ratings(2, 1, 3, ratings).expect("valid");
-    let model = Bprmf::fit(
-        &c,
-        &BprmfConfig { num_epochs: 5, ..BprmfConfig::default() },
-    )
-    .expect("fit must terminate");
+    let model = Bprmf::fit(&c, &BprmfConfig { num_epochs: 5, ..BprmfConfig::default() })
+        .expect("fit must terminate");
     assert!(model.predict(UserId(0), 0).is_finite());
 }
 
@@ -175,10 +152,7 @@ fn ta_on_cold_interval() {
     // Query an interval with no training data at all: TA must still
     // return k items with finite scores.
     let data = SynthDataset::generate(tcam::data::synth::tiny(50)).expect("gen");
-    let config = FitConfig::default()
-        .with_user_topics(3)
-        .with_time_topics(2)
-        .with_iterations(5);
+    let config = FitConfig::default().with_user_topics(3).with_time_topics(2).with_iterations(5);
     // Drop all entries of interval 0 to make it cold.
     let keep: Vec<usize> = data
         .cuboid

@@ -19,8 +19,7 @@ fn fit_and_pair_lambdas(data: &SynthDataset, seed: u64) -> (Vec<f64>, Vec<f64>) 
     let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
     let active = data.cuboid.active_users();
     let recovered: Vec<f64> = active.iter().map(|&u| model.lambda(u)).collect();
-    let planted: Vec<f64> =
-        active.iter().map(|&u| data.truth.lambda[u.index()]).collect();
+    let planted: Vec<f64> = active.iter().map(|&u| data.truth.lambda[u.index()]).collect();
     (recovered, planted)
 }
 
@@ -37,20 +36,16 @@ fn lambda_recovery_correlates_with_truth() {
     let (recovered, planted) = fit_and_pair_lambdas(&data, 31);
     let r = pearson(&recovered, &planted).expect("non-degenerate");
     eprintln!("lambda recovery correlation: {r:.3}");
-    assert!(
-        r > 0.3,
-        "recovered lambda should correlate with planted lambda, got r = {r:.3}"
-    );
+    assert!(r > 0.3, "recovered lambda should correlate with planted lambda, got r = {r:.3}");
 }
 
 #[test]
 fn lambda_recovery_separates_platforms() {
     // Same model, two platforms: mean recovered lambda must be higher
     // on the interest-driven platform (the paper's Fig. 10 vs Fig. 11).
-    let movie = SynthDataset::generate(tcam::data::synth::movielens_like(0.08, 32))
-        .expect("generation");
-    let news =
-        SynthDataset::generate(tcam::data::synth::digg_like(0.08, 32)).expect("generation");
+    let movie =
+        SynthDataset::generate(tcam::data::synth::movielens_like(0.08, 32)).expect("generation");
+    let news = SynthDataset::generate(tcam::data::synth::digg_like(0.08, 32)).expect("generation");
     let (movie_lambda, _) = fit_and_pair_lambdas(&movie, 32);
     let (news_lambda, _) = fit_and_pair_lambdas(&news, 32);
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
@@ -88,11 +83,11 @@ fn event_peak_interval_recovered() {
             SynthDataset::generate(c).expect("generation")
         })
         .find(|d| {
-            let centers: Vec<i64> =
-                d.truth.events.iter().map(|e| e.center as i64).collect();
-            centers.iter().enumerate().all(|(i, &a)| {
-                centers.iter().skip(i + 1).all(|&b| (a - b).abs() >= 3)
-            })
+            let centers: Vec<i64> = d.truth.events.iter().map(|e| e.center as i64).collect();
+            centers
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| centers.iter().skip(i + 1).all(|&b| (a - b).abs() >= 3))
         })
         .expect("some seed in range yields separated events");
 

@@ -33,8 +33,7 @@ fn ground_truth_round_trips() {
     let data = SynthDataset::generate(tcam::data::synth::tiny(42)).expect("gen");
     let path = tmp("truth.json");
     tcam::data::io::save_json(&data.truth, &path).expect("save");
-    let back: tcam::data::synth::GroundTruth =
-        tcam::data::io::load_json(&path).expect("load");
+    let back: tcam::data::synth::GroundTruth = tcam::data::io::load_json(&path).expect("load");
     assert_eq!(back.lambda, data.truth.lambda);
     assert_eq!(back.events.len(), data.truth.events.len());
     assert_eq!(back.events[0].core_items, data.truth.events[0].core_items);
@@ -53,10 +52,7 @@ fn weighting_round_trips() {
         assert_eq!(back.iuf(item), weighting.iuf(item));
         for t in 0..data.cuboid.num_times() {
             let time = TimeId::from(t);
-            assert_eq!(
-                back.bursty_degree(item, time),
-                weighting.bursty_degree(item, time)
-            );
+            assert_eq!(back.bursty_degree(item, time), weighting.bursty_degree(item, time));
         }
     }
     std::fs::remove_file(&path).ok();

@@ -65,10 +65,7 @@ fn ta_equals_brute_force_across_seeds_ttcam() {
 fn ta_equals_brute_force_across_seeds_itcam() {
     for seed in [4u64, 5] {
         let data = SynthDataset::generate(tcam::data::synth::tiny(seed)).expect("gen");
-        let config = FitConfig::default()
-            .with_user_topics(5)
-            .with_iterations(10)
-            .with_seed(seed);
+        let config = FitConfig::default().with_user_topics(5).with_iterations(10).with_seed(seed);
         let model = ItcamModel::fit(&data.cuboid, &config).expect("fit").model;
         check_equivalence(
             &model,
@@ -96,8 +93,7 @@ fn ta_equals_brute_force_on_weighted_model() {
 fn ta_saves_work_on_larger_catalog() {
     // The efficiency claim in miniature: on a douban-like catalog, TA
     // must examine well under the full catalog on average for small k.
-    let data =
-        SynthDataset::generate(tcam::data::synth::douban_like(0.2, 7)).expect("gen");
+    let data = SynthDataset::generate(tcam::data::synth::douban_like(0.2, 7)).expect("gen");
     let config = FitConfig::default()
         .with_user_topics(10)
         .with_time_topics(6)
@@ -120,4 +116,70 @@ fn ta_saves_work_on_larger_catalog() {
         avg < 0.5 * catalog,
         "TA should examine < 50% of the catalog on average, got {avg:.0}/{catalog:.0}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Property: TA ≡ brute force under the transforms the fixed-seed tests
+// above do not randomize together — item weighting (the W-ITCAM /
+// W-TTCAM training transform of Section 3.3) combined with a nonzero
+// background weight lambda_B, which adds a dense factor to every
+// query's expansion (Eq. 21) and is exactly the kind of change that
+// could silently break the Eq. 23 threshold bound.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ta_equals_brute_force_weighted_with_background(
+        seed in 0u64..10_000,
+        k in 1usize..12,
+        lambda_b in 0.01f64..0.4,
+    ) {
+        let mut cfg = tcam::data::synth::tiny(seed);
+        cfg.num_users = 30;
+        cfg.num_items = 35;
+        cfg.num_intervals = 4;
+        let data = SynthDataset::generate(cfg).unwrap();
+        let weighted = ItemWeighting::compute(&data.cuboid).apply(&data.cuboid);
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(6)
+            .with_background(lambda_b)
+            .with_seed(seed);
+
+        let wttcam = TtcamModel::fit(&weighted, &config).unwrap().model;
+        let witcam = ItcamModel::fit(&weighted, &config).unwrap().model;
+        prop_assert!(wttcam.background_weight() > 0.0);
+
+        let tt_index = TaIndex::build(&wttcam);
+        let it_index = TaIndex::build(&witcam);
+        let mut buffer = vec![0.0; weighted.num_items()];
+        for u in (0..weighted.num_users()).step_by(5) {
+            for t in 0..weighted.num_times() {
+                let (user, time) = (UserId::from(u), TimeId::from(t));
+                let ta = tt_index.top_k(&wttcam, user, time, k);
+                let bf = brute_force_top_k(&wttcam, user, time, k, &mut buffer);
+                prop_assert_eq!(ta.items.len(), bf.len());
+                for (a, b) in ta.items.iter().zip(bf.iter()) {
+                    prop_assert!(
+                        (a.score - b.score).abs() < 1e-10,
+                        "W-TTCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
+                    );
+                }
+                let ta = it_index.top_k(&witcam, user, time, k);
+                let bf = brute_force_top_k(&witcam, user, time, k, &mut buffer);
+                prop_assert_eq!(ta.items.len(), bf.len());
+                for (a, b) in ta.items.iter().zip(bf.iter()) {
+                    prop_assert!(
+                        (a.score - b.score).abs() < 1e-10,
+                        "W-ITCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
+                    );
+                }
+            }
+        }
+    }
 }
