@@ -1,10 +1,17 @@
-//! Criterion micro-bench: cost of one EM iteration for ITCAM and TTCAM,
-//! serial vs multi-threaded (the offline-training cost of Table 4 per
-//! iteration), on a fixed tiny dataset.
+//! Criterion micro-bench: cost of one EM iteration for ITCAM, TTCAM,
+//! and W-TTCAM (the weighted cuboid), serial vs multi-threaded (the
+//! offline-training cost of Table 4 per iteration), on a fixed tiny
+//! dataset.
+//!
+//! Each `*_serial` entry times a 1-iteration fit (setup + one EM
+//! iteration); the `ttcam_serial_10iter` entry times an 11-iteration
+//! fit so the marginal per-iteration cost can be read as
+//! `(t_10iter - t_serial) / 10` — the committed
+//! `train_throughput` binary reports that quantity directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tcam_core::{FitConfig, ItcamModel, TtcamModel};
-use tcam_data::{synth, SynthDataset};
+use tcam_data::{synth, ItemWeighting, SynthDataset};
 
 fn bench_em(c: &mut Criterion) {
     let data = SynthDataset::generate(synth::digg_like(0.1, 1)).expect("generation");
@@ -24,6 +31,14 @@ fn bench_em(c: &mut Criterion) {
     });
     group.bench_function("ttcam_serial", |b| {
         b.iter(|| TtcamModel::fit(&data.cuboid, &base).expect("fit"))
+    });
+    let weighted = ItemWeighting::compute(&data.cuboid).apply(&data.cuboid);
+    group.bench_function("wttcam_serial", |b| {
+        b.iter(|| TtcamModel::fit(&weighted, &base).expect("fit"))
+    });
+    let ten = FitConfig { max_iterations: 11, ..base.clone() };
+    group.bench_function("ttcam_serial_10iter", |b| {
+        b.iter(|| TtcamModel::fit(&data.cuboid, &ten).expect("fit"))
     });
     let parallel = FitConfig { num_threads: 4, ..base.clone() };
     group.bench_function("ttcam_4_threads", |b| {

@@ -1,0 +1,213 @@
+//! Committed training-throughput benchmark: EM iteration cost for
+//! ITCAM, TTCAM, and W-TTCAM on the `em_step` bench dataset.
+//!
+//! Measures the *marginal* cost of one EM iteration — the quantity that
+//! scales with ratings x topics in the paper's Table 4 — by timing a
+//! 1-iteration fit and a `(1 + iters)`-iteration fit back to back and
+//! differencing, which cancels setup (allocation, context-index build,
+//! random init) out of the per-iteration number. Each repetition pairs
+//! the two timings in the same thermal window; the report keeps the
+//! median and min across repetitions because shared-core containers
+//! jitter by tens of percent.
+//!
+//! Writes `BENCH_train.json` (override with `out=...`) so every future
+//! PR has a before/after number; stdout carries the same JSON.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin train_throughput
+//!         [scale=0.1 seed=1 k1=12 k2=10 iters=10 reps=5
+//!          out=BENCH_train.json]`
+
+use serde::Serialize;
+use std::time::Instant;
+use tcam_bench::Args;
+use tcam_core::{FitConfig, ItcamModel, TtcamModel};
+use tcam_data::{synth, ItemWeighting, RatingCuboid, SynthDataset, TimeItemIndex};
+
+#[derive(Debug, Serialize)]
+struct DatasetInfo {
+    generator: String,
+    users: usize,
+    items: usize,
+    times: usize,
+    nnz: usize,
+    /// Distinct `(t, v)` support — the context cache's row count; the
+    /// cache saves `nnz - distinct_time_item_pairs` context evaluations
+    /// per TTCAM iteration.
+    distinct_time_item_pairs: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct BaselineInfo {
+    commit: String,
+    note: String,
+    em_step_itcam_serial_us: f64,
+    em_step_ttcam_serial_us: f64,
+    em_step_ttcam_4_threads_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ModelRun {
+    model: &'static str,
+    threads: usize,
+    fit_1_iteration_us_median: f64,
+    per_iteration_us_median: f64,
+    per_iteration_us_min: f64,
+    entries_per_sec_per_iteration: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TrainReport {
+    benchmark: String,
+    /// Cores visible to the process. On a single core the 4-thread rows
+    /// can only show task-dispatch overhead, never speedup.
+    available_cores: usize,
+    k1: usize,
+    k2: usize,
+    measured_iterations: usize,
+    repetitions: usize,
+    dataset: DatasetInfo,
+    baseline: BaselineInfo,
+    runs: Vec<ModelRun>,
+}
+
+enum Model {
+    Itcam,
+    Ttcam,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    s[s.len() / 2]
+}
+
+fn time_fit(model: &Model, cuboid: &RatingCuboid, cfg: &FitConfig) -> f64 {
+    let start = Instant::now();
+    match model {
+        Model::Itcam => {
+            std::hint::black_box(ItcamModel::fit(cuboid, cfg).expect("fit"));
+        }
+        Model::Ttcam => {
+            std::hint::black_box(TtcamModel::fit(cuboid, cfg).expect("fit"));
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    name: &'static str,
+    model: Model,
+    cuboid: &RatingCuboid,
+    k1: usize,
+    k2: usize,
+    threads: usize,
+    iters: usize,
+    reps: usize,
+) -> ModelRun {
+    let cfg1 = FitConfig {
+        num_user_topics: k1,
+        num_time_topics: k2,
+        max_iterations: 1,
+        tolerance: 0.0,
+        num_threads: threads,
+        ..FitConfig::default()
+    };
+    let cfg_n = FitConfig { max_iterations: 1 + iters, ..cfg1.clone() };
+
+    // Warm up code and data once outside the measured repetitions.
+    time_fit(&model, cuboid, &cfg1);
+
+    let mut fit1 = Vec::with_capacity(reps);
+    let mut per_iter = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t1 = time_fit(&model, cuboid, &cfg1);
+        let tn = time_fit(&model, cuboid, &cfg_n);
+        fit1.push(t1 * 1e6);
+        per_iter.push((tn - t1).max(0.0) / iters as f64 * 1e6);
+    }
+    let per_iteration_us_median = median(&per_iter);
+    let per_iteration_us_min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let run = ModelRun {
+        model: name,
+        threads,
+        fit_1_iteration_us_median: median(&fit1),
+        per_iteration_us_median,
+        per_iteration_us_min,
+        entries_per_sec_per_iteration: cuboid.nnz() as f64 / (per_iteration_us_median * 1e-6),
+    };
+    eprintln!(
+        "{name:>8} threads={threads}  fit1={:8.1}us  per-iter median={:8.1}us min={:8.1}us  \
+         entries/s={:12.0}",
+        run.fit_1_iteration_us_median,
+        run.per_iteration_us_median,
+        run.per_iteration_us_min,
+        run.entries_per_sec_per_iteration,
+    );
+    run
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.1);
+    let seed = args.get_u64("seed", 1);
+    let k1 = args.get_usize("k1", 12);
+    let k2 = args.get_usize("k2", 10);
+    let iters = args.get_usize("iters", 10);
+    let reps = args.get_usize("reps", 5);
+    let out = args.get_str("out", "BENCH_train.json");
+
+    eprintln!("==== train_throughput: EM iteration cost ====");
+    let data = SynthDataset::generate(synth::digg_like(scale, seed)).expect("generation");
+    let cuboid = &data.cuboid;
+    let weighted = ItemWeighting::compute(cuboid).apply(cuboid);
+    let ctx = TimeItemIndex::new(cuboid);
+    eprintln!(
+        "digg_like(scale={scale}, seed={seed}): {} users x {} times x {} items, nnz={}, \
+         distinct (t,v) pairs={}",
+        cuboid.num_users(),
+        cuboid.num_times(),
+        cuboid.num_items(),
+        cuboid.nnz(),
+        ctx.num_pairs(),
+    );
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        runs.push(measure("itcam", Model::Itcam, cuboid, k1, k2, threads, iters, reps));
+        runs.push(measure("ttcam", Model::Ttcam, cuboid, k1, k2, threads, iters, reps));
+        runs.push(measure("w-ttcam", Model::Ttcam, &weighted, k1, k2, threads, iters, reps));
+    }
+
+    let report = TrainReport {
+        benchmark: "train_throughput".to_string(),
+        available_cores: tcam_bench::suite::available_threads(),
+        k1,
+        k2,
+        measured_iterations: iters,
+        repetitions: reps,
+        dataset: DatasetInfo {
+            generator: format!("synth::digg_like(scale={scale}, seed={seed})"),
+            users: cuboid.num_users(),
+            items: cuboid.num_items(),
+            times: cuboid.num_times(),
+            nnz: cuboid.nnz(),
+            distinct_time_item_pairs: ctx.num_pairs(),
+        },
+        baseline: BaselineInfo {
+            commit: "4cec105".to_string(),
+            note: "pre-kernel-rewrite em_step bench medians (1-iteration fit including setup), \
+                   same dataset and topic counts, same container"
+                .to_string(),
+            em_step_itcam_serial_us: 416.455,
+            em_step_ttcam_serial_us: 450.824,
+            em_step_ttcam_4_threads_us: 591.895,
+        },
+        runs,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_train.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

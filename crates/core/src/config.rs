@@ -2,6 +2,7 @@
 
 use crate::{ModelError, Result};
 use serde::{Deserialize, Serialize};
+#[cfg(test)]
 use tcam_math::Pcg64;
 
 /// Configuration for an EM fit of either TCAM variant.
@@ -206,6 +207,11 @@ pub(crate) fn update_lambda(shrinkage: f64, lambda_num: &[f64], mass: &[f64], la
 /// Draws a random distribution (uniform + noise, normalized) — the
 /// standard PLSA-style initialization that keeps every cell strictly
 /// positive so EM's multiplicative updates never divide by zero.
+///
+/// The training kernels use the allocation-free
+/// [`crate::em::random_rows`] instead; this reference form is kept for
+/// the tests that pin the two to the same RNG stream.
+#[cfg(test)]
 pub(crate) fn random_distribution(len: usize, rng: &mut Pcg64) -> Vec<f64> {
     let mut d: Vec<f64> = (0..len).map(|_| 0.5 + rng.next_f64()).collect();
     tcam_math::vecops::normalize_in_place(&mut d);

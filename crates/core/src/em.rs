@@ -1,0 +1,400 @@
+//! Shared EM kernel plumbing for both TCAM variants (DESIGN.md §11).
+//!
+//! Everything here exists to make one EM iteration (a) allocation-free,
+//! (b) bitwise reproducible across thread counts, and (c) free of the
+//! init/normalize boilerplate that used to be copy-pasted between
+//! `itcam.rs` and `ttcam.rs`. The key ideas:
+//!
+//! * **Fixed shard plan.** The user partition is a function of the
+//!   *data* (entry count), never of `num_threads`. Threads only pick up
+//!   shards; the per-shard accumulation and the merge order are
+//!   identical whether 1 or 16 threads run them, so the log-likelihood
+//!   trace is bitwise identical across thread counts.
+//! * **Disjoint per-user statistics.** `theta_num`, `lambda_num`, and
+//!   `mass` are indexed by user, and shards own contiguous user ranges —
+//!   so shards write disjoint row windows of one shared buffer
+//!   ([`UserStats::split`]) and those statistics need no merge at all.
+//! * **Deterministic pairwise merge tree.** The shared item-major
+//!   matrices are accumulated per shard into reusable scratch (zeroed,
+//!   not reallocated, between iterations) and merged with a fixed
+//!   stride-doubling tree ([`merge_tree`]): `s[i] += s[i + gap]` for
+//!   `gap = 1, 2, 4, ...`. The tree's shape depends only on the shard
+//!   count, and each level's merges are independent (parallelizable).
+
+use std::ops::Range;
+use tcam_data::RatingCuboid;
+use tcam_math::{Matrix, Pcg64};
+
+/// Upper bound on EM shards. Bounds per-shard scratch memory (each
+/// shard holds its own copies of the shared item-major numerators) and
+/// therefore the zero+merge overhead of tiny datasets; it also caps the
+/// useful E-step parallelism. Raise it when real multi-core hardware and
+/// larger cuboids arrive — any fixed value preserves reproducibility.
+pub(crate) const MAX_EM_SHARDS: usize = 8;
+
+/// Entries a shard should hold before another shard pays for itself.
+/// Below this, zeroing and merging the extra scratch costs more than the
+/// E-step work it parallelizes.
+pub(crate) const MIN_ENTRIES_PER_SHARD: usize = 2048;
+
+/// The fixed user partition for a cuboid: contiguous, entry-balanced,
+/// and — critically — independent of the fit's `num_threads`, so every
+/// thread count accumulates and merges in exactly the same order. At
+/// least 2 shards whenever the data allows, so the merge tree is
+/// exercised (and its determinism tested) even on small datasets.
+pub(crate) fn em_shard_plan(cuboid: &RatingCuboid) -> Vec<Range<usize>> {
+    let by_size = cuboid.nnz() / MIN_ENTRIES_PER_SHARD;
+    let want = by_size.clamp(2, MAX_EM_SHARDS);
+    crate::parallel::balanced_user_shards(cuboid, want)
+}
+
+/// Per-user sufficient statistics (M-step numerators for `theta_u` and
+/// `lambda_u`). Allocated once per fit; zeroed in place each iteration.
+pub(crate) struct UserStats {
+    /// `N x K1` numerators for Eq. 8.
+    pub theta_num: Matrix,
+    /// Eq. 11 numerators.
+    pub lambda_num: Vec<f64>,
+    /// Eq. 11 denominators.
+    pub mass: Vec<f64>,
+}
+
+impl UserStats {
+    pub fn zeros(n: usize, k1: usize) -> Self {
+        UserStats { theta_num: Matrix::zeros(n, k1), lambda_num: vec![0.0; n], mass: vec![0.0; n] }
+    }
+
+    pub fn reset(&mut self) {
+        self.theta_num.as_mut_slice().fill(0.0);
+        self.lambda_num.fill(0.0);
+        self.mass.fill(0.0);
+    }
+
+    /// Splits the buffers into disjoint per-shard windows. `shards` must
+    /// be contiguous ranges covering `0..n` in order (which
+    /// [`em_shard_plan`] guarantees); each window is handed to exactly
+    /// one shard, so no synchronization or merging is needed.
+    pub fn split(&mut self, shards: &[Range<usize>]) -> Vec<UserStatsView<'_>> {
+        let k1 = self.theta_num.cols();
+        let mut views = Vec::with_capacity(shards.len());
+        let mut theta_rest = self.theta_num.as_mut_slice();
+        let mut lambda_rest = self.lambda_num.as_mut_slice();
+        let mut mass_rest = self.mass.as_mut_slice();
+        for r in shards {
+            debug_assert_eq!(r.start, views.last().map_or(0, |v: &UserStatsView| v.base_end()));
+            let users = r.end - r.start;
+            let (theta, tr) = theta_rest.split_at_mut(users * k1);
+            let (lambda_num, lr) = lambda_rest.split_at_mut(users);
+            let (mass, mr) = mass_rest.split_at_mut(users);
+            theta_rest = tr;
+            lambda_rest = lr;
+            mass_rest = mr;
+            views.push(UserStatsView { base: r.start, k1, theta, lambda_num, mass });
+        }
+        views
+    }
+}
+
+/// One shard's disjoint window into [`UserStats`]. Indexed by *global*
+/// user id; the view rebases internally.
+pub(crate) struct UserStatsView<'a> {
+    base: usize,
+    k1: usize,
+    theta: &'a mut [f64],
+    pub lambda_num: &'a mut [f64],
+    pub mass: &'a mut [f64],
+}
+
+impl UserStatsView<'_> {
+    /// The `theta_num` row of global user `u` (must be in the window).
+    #[inline]
+    pub fn theta_row_mut(&mut self, u: usize) -> &mut [f64] {
+        let i = (u - self.base) * self.k1;
+        &mut self.theta[i..i + self.k1]
+    }
+
+    /// Adds to the Eq. 11 accumulators of global user `u`.
+    #[inline]
+    pub fn lambda_mass_add(&mut self, u: usize, lambda_num: f64, mass: f64) {
+        let i = u - self.base;
+        self.lambda_num[i] += lambda_num;
+        self.mass[i] += mass;
+    }
+
+    fn base_end(&self) -> usize {
+        self.base + self.lambda_num.len()
+    }
+}
+
+/// Shard statistics that participate in the deterministic merge tree.
+pub(crate) trait MergeStats {
+    /// `self += other` element-wise.
+    fn merge_from(&mut self, other: &Self);
+}
+
+/// Folds all shard statistics into `states[0]` with a fixed
+/// stride-doubling pairwise tree: gap 1 merges (0,1), (2,3), ...; gap 2
+/// merges (0,2), (4,6), ...; and so on. The order depends only on
+/// `states.len()`, so the result is bitwise reproducible for any thread
+/// count — and the merges within one level are independent, should a
+/// future PR want to run the tree itself on threads.
+pub(crate) fn merge_tree<S: MergeStats>(states: &mut [S]) {
+    let n = states.len();
+    let mut gap = 1;
+    while gap < n {
+        let mut i = 0;
+        while i + gap < n {
+            let (left, right) = states.split_at_mut(i + gap);
+            left[i].merge_from(&right[0]);
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+}
+
+/// Batched accumulator for `sum c * ln(denom)` over one user's entries.
+///
+/// `ln` is by far the most expensive scalar in the E-step. For the
+/// overwhelmingly common unweighted rating (`c == 1`) with a
+/// non-degenerate probability, `ln(d1) + ... + ln(d8) = ln(d1*...*d8)`,
+/// so the accumulator multiplies up to 8 denominators and takes one
+/// `ln`. Denominators are mixture probabilities (at most 1), and the
+/// batch path requires `denom > 1e-30`, so a batch product is in
+/// `[1e-240, 1]` — no under- or overflow. Weighted or degenerate
+/// entries fall back to a direct `c * ln(denom)`.
+///
+/// Batching happens per user, so the result is independent of shard
+/// layout and thread count (bitwise).
+pub(crate) struct LogLikelihoodAcc {
+    total: f64,
+    prod: f64,
+    pending: u32,
+}
+
+impl LogLikelihoodAcc {
+    pub fn new() -> Self {
+        LogLikelihoodAcc { total: 0.0, prod: 1.0, pending: 0 }
+    }
+
+    /// Adds `c * ln(denom)`.
+    #[inline]
+    pub fn add(&mut self, c: f64, denom: f64) {
+        if c == 1.0 && denom > 1e-30 {
+            self.prod *= denom;
+            self.pending += 1;
+            if self.pending == 8 {
+                self.total += self.prod.ln();
+                self.prod = 1.0;
+                self.pending = 0;
+            }
+        } else {
+            self.total += c * denom.ln();
+        }
+    }
+
+    /// Adds the floor contribution of a cell the model assigns zero
+    /// mass: `c * ln(f64::MIN_POSITIVE)`.
+    #[inline]
+    pub fn add_floor(&mut self, c: f64) {
+        self.total += c * f64::MIN_POSITIVE.ln();
+    }
+
+    /// Flushes any partial batch and returns the accumulated total.
+    #[inline]
+    pub fn finish(mut self) -> f64 {
+        if self.pending > 0 {
+            self.total += self.prod.ln();
+        }
+        self.total
+    }
+}
+
+/// Fills every row of `m` with a random distribution. Draws and values
+/// are identical to copying `config::random_distribution` into each row
+/// (same RNG stream), without the per-row allocation.
+pub(crate) fn random_rows(m: &mut Matrix, rng: &mut Pcg64) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for cell in row.iter_mut() {
+            *cell = 0.5 + rng.next_f64();
+        }
+        tcam_math::vecops::normalize_in_place(row);
+    }
+}
+
+/// Random item-major `M[v][k]`, column-normalized so each of the `k`
+/// topics is a distribution over items. Shared by both models' inits.
+pub(crate) fn init_item_major(v_dim: usize, k: usize, rng: &mut Pcg64) -> Matrix {
+    let mut m = Matrix::zeros(v_dim, k);
+    let mut col_sums = vec![0.0; k];
+    for v in 0..v_dim {
+        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
+            *cell = 0.5 + rng.next_f64();
+            col_sums[z] += *cell;
+        }
+    }
+    for v in 0..v_dim {
+        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
+            *cell /= col_sums[z];
+        }
+    }
+    m
+}
+
+/// M-step row normalization: `dst[r] = normalize(src[r])` for every row
+/// (uniform fallback for empty rows, as in `normalize_in_place`).
+pub(crate) fn normalize_rows(src: &Matrix, dst: &mut Matrix) {
+    debug_assert_eq!(src.rows(), dst.rows());
+    for r in 0..src.rows() {
+        let out = dst.row_mut(r);
+        out.copy_from_slice(src.row(r));
+        tcam_math::vecops::normalize_in_place(out);
+    }
+}
+
+/// M-step column normalization of item-major numerators into `dst` so
+/// every topic is a distribution over items (uniform fallback for empty
+/// topics). Shared by Eq. 9 (`phi_z`) and Eq. 16 (`phi'_x`).
+pub(crate) fn column_normalize(src: &Matrix, dst: &mut Matrix) {
+    let v_dim = src.rows();
+    let k = src.cols();
+    let mut col_sums = vec![0.0; k];
+    for v in 0..v_dim {
+        tcam_math::vecops::scaled_add(&mut col_sums, src.row(v), 1.0);
+    }
+    for v in 0..v_dim {
+        let src_row = src.row(v);
+        let dst_row = dst.row_mut(v);
+        for z in 0..k {
+            dst_row[z] =
+                if col_sums[z] > 0.0 { src_row[z] / col_sums[z] } else { 1.0 / v_dim as f64 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::{ItemId, Rating, TimeId, UserId};
+
+    #[derive(Clone)]
+    struct Tag(Vec<usize>);
+    impl MergeStats for Tag {
+        fn merge_from(&mut self, other: &Self) {
+            self.0.extend_from_slice(&other.0);
+        }
+    }
+
+    #[test]
+    fn random_rows_matches_reference_distribution_stream() {
+        let mut rng_rows = Pcg64::new(42);
+        let mut rng_ref = Pcg64::new(42);
+        let mut m = Matrix::zeros(5, 7);
+        random_rows(&mut m, &mut rng_rows);
+        for r in 0..5 {
+            let want = crate::config::random_distribution(7, &mut rng_ref);
+            assert_eq!(m.row(r), &want[..], "row {r}");
+        }
+    }
+
+    #[test]
+    fn merge_tree_order_is_fixed() {
+        for n in 1..=9 {
+            let mut states: Vec<Tag> = (0..n).map(|i| Tag(vec![i])).collect();
+            merge_tree(&mut states);
+            let mut all = states[0].0.clone();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} covers every shard once");
+            // The order is a pure function of n: re-running reproduces it.
+            let mut again: Vec<Tag> = (0..n).map(|i| Tag(vec![i])).collect();
+            merge_tree(&mut again);
+            assert_eq!(states[0].0, again[0].0);
+        }
+    }
+
+    #[test]
+    fn shard_plan_ignores_thread_count_and_covers_users() {
+        let ratings: Vec<Rating> = (0..200u32)
+            .flat_map(|u| {
+                (0..30u32).map(move |i| Rating {
+                    user: UserId(u),
+                    time: TimeId(i % 5),
+                    item: ItemId(i),
+                    value: 1.0,
+                })
+            })
+            .collect();
+        let c = RatingCuboid::from_ratings(200, 5, 30, ratings).unwrap();
+        let plan = em_shard_plan(&c);
+        assert!(plan.len() >= 2);
+        assert!(plan.len() <= MAX_EM_SHARDS);
+        assert_eq!(plan.first().unwrap().start, 0);
+        assert_eq!(plan.last().unwrap().end, 200);
+        for w in plan.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn user_stats_split_windows_are_disjoint_and_complete() {
+        let mut stats = UserStats::zeros(7, 3);
+        let shards = vec![0..2, 2..5, 5..7];
+        {
+            let mut views = stats.split(&shards);
+            for (view, r) in views.iter_mut().zip(&shards) {
+                for u in r.clone() {
+                    view.theta_row_mut(u)[0] = u as f64;
+                    view.lambda_mass_add(u, u as f64, 1.0);
+                }
+            }
+        }
+        for u in 0..7 {
+            assert_eq!(stats.theta_num.get(u, 0), u as f64);
+            assert_eq!(stats.lambda_num[u], u as f64);
+            assert_eq!(stats.mass[u], 1.0);
+        }
+        stats.reset();
+        assert!(stats.theta_num.as_slice().iter().all(|&x| x == 0.0));
+        assert!(stats.mass.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn log_likelihood_acc_matches_direct_sum() {
+        // Mix of batchable (c == 1), weighted, tiny, and floored terms.
+        let terms: Vec<(f64, f64)> = (0..37)
+            .map(|i| {
+                let c = if i % 5 == 0 { 0.25 + i as f64 * 0.1 } else { 1.0 };
+                let d = if i % 11 == 0 { 1e-35 } else { 1e-4 + (i as f64) * 1e-3 };
+                (c, d)
+            })
+            .collect();
+        let mut acc = LogLikelihoodAcc::new();
+        let mut direct = 0.0;
+        for &(c, d) in &terms {
+            acc.add(c, d);
+            direct += c * d.ln();
+        }
+        let batched = acc.finish();
+        assert!(
+            (batched - direct).abs() <= 1e-9 * direct.abs(),
+            "batched {batched} vs direct {direct}"
+        );
+        // Floors are weighted too.
+        let mut acc = LogLikelihoodAcc::new();
+        acc.add_floor(2.0);
+        assert_eq!(acc.finish(), 2.0 * f64::MIN_POSITIVE.ln());
+    }
+
+    #[test]
+    fn column_normalize_matches_rowwise_definition() {
+        let src = Matrix::from_vec(3, 2, vec![1.0, 0.0, 2.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut dst = Matrix::zeros(3, 2);
+        column_normalize(&src, &mut dst);
+        assert!((dst.get(0, 0) - 0.25).abs() < 1e-15);
+        assert!((dst.get(1, 0) - 0.5).abs() < 1e-15);
+        // Empty column falls back to uniform over items.
+        for v in 0..3 {
+            assert!((dst.get(v, 1) - 1.0 / 3.0).abs() < 1e-15);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 use crate::ttcam::TtcamModel;
 use serde::{Deserialize, Serialize};
 use tcam_data::TimeId;
+use tcam_math::vecops;
 
 /// One observed action of the user being folded in.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,36 +73,43 @@ impl TtcamModel {
         let lam_b = self.background_weight();
         let bg: Vec<f64> = ratings.iter().map(|r| self.background()[r.item]).collect();
 
+        // Gather each rated item's K1-wide topic row once; the
+        // corpus-side phi is frozen during fold-in, so every iteration
+        // streams contiguous rows instead of striding across topics.
+        let mut item_rows = vec![0.0; ratings.len() * k1];
+        for (row, r) in item_rows.chunks_exact_mut(k1).zip(ratings.iter()) {
+            for (z, slot) in row.iter_mut().enumerate() {
+                *slot = self.user_topic(z)[r.item];
+            }
+        }
+
         let mut a = vec![0.0; k1];
         for _ in 0..iterations.max(1) {
             let mut theta_num = vec![0.0; k1];
             let mut lambda_num = 0.0;
             let mut mass = 0.0;
-            for (i, r) in ratings.iter().enumerate() {
-                let mut a_sum = 0.0;
-                for (z, az) in a.iter_mut().enumerate() {
-                    *az = interest[z] * self.user_topic(z)[r.item];
-                    a_sum += *az;
-                }
-                let p1 = (1.0 - lam_b) * lambda * a_sum;
-                let p0 = (1.0 - lam_b) * (1.0 - lambda) * context[i];
+            // Same per-user hoisting and one-division cancellation as
+            // the training E-step (`lambda` is constant within an
+            // iteration).
+            let w1 = (1.0 - lam_b) * lambda;
+            let w0 = (1.0 - lam_b) * (1.0 - lambda);
+            for ((i, r), row) in ratings.iter().enumerate().zip(item_rows.chunks_exact(k1)) {
+                let a_sum = vecops::mul_store_sum(&mut a, &interest, row);
+                let p1 = w1 * a_sum;
+                let p0 = w0 * context[i];
                 let denom = lam_b * bg[i] + p1 + p0;
                 if denom <= 0.0 {
                     continue;
                 }
-                let post1 = p1 / denom;
-                let post0 = p0 / denom;
+                let inv = r.value / denom;
                 if a_sum > 0.0 {
-                    let scale = r.value * post1 / a_sum;
-                    for (num, &az) in theta_num.iter_mut().zip(a.iter()) {
-                        *num += scale * az;
-                    }
+                    vecops::scaled_add(&mut theta_num, &a, inv * w1);
                 }
-                lambda_num += r.value * post1;
-                mass += r.value * (post1 + post0);
+                lambda_num += inv * p1;
+                mass += inv * (p1 + p0);
             }
             interest.copy_from_slice(&theta_num);
-            tcam_math::vecops::normalize_in_place(&mut interest);
+            vecops::normalize_in_place(&mut interest);
             if mass > 0.0 || shrinkage > 0.0 {
                 lambda = (shrinkage * population_lambda + lambda_num) / (shrinkage + mass);
             }
@@ -117,14 +125,14 @@ impl TtcamModel {
         for (z, &w) in user.interest.iter().enumerate() {
             let weight = user.lambda * w;
             if weight > 0.0 {
-                tcam_math::vecops::axpy(scores, self.user_topic(z), weight);
+                vecops::scaled_add(scores, self.user_topic(z), weight);
             }
         }
         let theta_t = self.temporal_context(time);
         for x in 0..self.num_time_topics() {
             let weight = (1.0 - user.lambda) * theta_t[x];
             if weight > 0.0 {
-                tcam_math::vecops::axpy(scores, self.time_topic(x), weight);
+                vecops::scaled_add(scores, self.time_topic(x), weight);
             }
         }
         let lam_b = self.background_weight();
@@ -132,7 +140,7 @@ impl TtcamModel {
             for s in scores.iter_mut() {
                 *s *= 1.0 - lam_b;
             }
-            tcam_math::vecops::axpy(scores, self.background(), lam_b);
+            vecops::scaled_add(scores, self.background(), lam_b);
         }
     }
 }

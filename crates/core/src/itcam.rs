@@ -8,16 +8,26 @@
 //!    interval `t` is a multinomial directly over items.
 //!
 //! The likelihood of a rating is Eq. 1 with `P(v|theta_u)` expanded by
-//! Eq. 2, and the EM updates are Eqs. 4–11. The E-step posterior
-//! `P(s, z | u, t, v)` is computed per nonzero cuboid cell; sufficient
-//! statistics are accumulated per thread shard and merged.
+//! Eq. 2, and the EM updates are Eqs. 4–11.
+//!
+//! The training kernel shares its plumbing with TTCAM (DESIGN.md §11):
+//! a data-dependent shard plan, disjoint per-user statistic windows,
+//! reusable per-shard [`EmScratch`], and a deterministic merge tree, so
+//! the fit is allocation-free per iteration and bitwise reproducible for
+//! any `num_threads`. ITCAM's one model-specific wrinkle is the `T x V`
+//! temporal numerator (Eq. 10): instead of giving every shard its own
+//! dense `T x V` copy (which would dwarf the E-step work on sparse
+//! data), shards record each entry's context posterior mass `c * post0`
+//! into disjoint windows of one `nnz`-length buffer, and a single
+//! entry-order scatter pass builds the numerator afterwards.
 
-use crate::config::{random_distribution, FitConfig, FitResult, FitTrace};
-use crate::parallel::run_sharded;
+use crate::config::{FitConfig, FitResult, FitTrace};
+use crate::em::{self, MergeStats};
+use crate::parallel::run_tasks;
 use crate::{ModelError, Result};
 use serde::{Deserialize, Serialize};
 use tcam_data::{RatingCuboid, TimeId, UserId};
-use tcam_math::{Matrix, Pcg64};
+use tcam_math::{vecops, Matrix, Pcg64};
 
 /// A fitted item-based TCAM model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,40 +47,29 @@ pub struct ItcamModel {
     background_weight: f64,
 }
 
-/// Per-shard sufficient statistics (unnormalized M-step numerators).
-struct Stats {
-    theta_num: Matrix,
+/// Reusable per-shard E-step scratch. Allocated once per fit and zeroed —
+/// never reallocated — between iterations.
+struct EmScratch {
+    /// `V x K1` numerators for Eq. 9.
     phi_item_num: Matrix,
-    theta_t_num: Matrix,
-    lambda_num: Vec<f64>,
-    mass: Vec<f64>,
     log_likelihood: f64,
 }
 
-impl Stats {
-    fn zeros(n: usize, t: usize, v: usize, k1: usize) -> Self {
-        Stats {
-            theta_num: Matrix::zeros(n, k1),
-            phi_item_num: Matrix::zeros(v, k1),
-            theta_t_num: Matrix::zeros(t, v),
-            lambda_num: vec![0.0; n],
-            mass: vec![0.0; n],
-            log_likelihood: 0.0,
-        }
+impl EmScratch {
+    fn new(v_dim: usize, k1: usize) -> Self {
+        EmScratch { phi_item_num: Matrix::zeros(v_dim, k1), log_likelihood: 0.0 }
     }
 
-    fn merge(mut acc: Stats, other: Stats) -> Stats {
-        acc.theta_num.add_assign(&other.theta_num).expect("equal shapes");
-        acc.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
-        acc.theta_t_num.add_assign(&other.theta_t_num).expect("equal shapes");
-        for (a, b) in acc.lambda_num.iter_mut().zip(other.lambda_num.iter()) {
-            *a += b;
-        }
-        for (a, b) in acc.mass.iter_mut().zip(other.mass.iter()) {
-            *a += b;
-        }
-        acc.log_likelihood += other.log_likelihood;
-        acc
+    fn reset(&mut self) {
+        self.phi_item_num.as_mut_slice().fill(0.0);
+        self.log_likelihood = 0.0;
+    }
+}
+
+impl MergeStats for EmScratch {
+    fn merge_from(&mut self, other: &Self) {
+        self.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
+        self.log_likelihood += other.log_likelihood;
     }
 }
 
@@ -79,6 +78,11 @@ impl ItcamModel {
     ///
     /// Fitting a cuboid pre-transformed by
     /// [`tcam_data::ItemWeighting::apply`] yields the paper's W-ITCAM.
+    ///
+    /// The shard plan, accumulation order, and merge tree depend only on
+    /// the data — `config.num_threads` changes wall-clock, never the
+    /// result: traces and parameters are bitwise identical across thread
+    /// counts.
     pub fn fit(cuboid: &RatingCuboid, config: &FitConfig) -> Result<FitResult<Self>> {
         config.validate()?;
         if cuboid.nnz() == 0 {
@@ -91,53 +95,62 @@ impl ItcamModel {
 
         let mut rng = Pcg64::new(config.seed);
         let mut theta = Matrix::zeros(n, k1);
-        for u in 0..n {
-            theta.row_mut(u).copy_from_slice(&random_distribution(k1, &mut rng));
-        }
+        em::random_rows(&mut theta, &mut rng);
         // Work layout: item-major `phi_item[v][z]` so the per-entry inner
         // loop reads one contiguous row per rating.
-        let mut phi_item = Matrix::zeros(v_dim, k1);
-        {
-            // Initialize column-normalized (each topic a distribution
-            // over items).
-            let mut col_sums = vec![0.0; k1];
-            for v in 0..v_dim {
-                let row = phi_item.row_mut(v);
-                for (z, cell) in row.iter_mut().enumerate() {
-                    *cell = 0.5 + rng.next_f64();
-                    col_sums[z] += *cell;
-                }
-            }
-            for v in 0..v_dim {
-                for (z, cell) in phi_item.row_mut(v).iter_mut().enumerate() {
-                    *cell /= col_sums[z];
-                }
-            }
-        }
+        let mut phi_item = em::init_item_major(v_dim, k1, &mut rng);
         let mut theta_t = Matrix::zeros(t_dim, v_dim);
-        for t in 0..t_dim {
-            theta_t.row_mut(t).copy_from_slice(&random_distribution(v_dim, &mut rng));
-        }
+        em::random_rows(&mut theta_t, &mut rng);
         let mut lambda = vec![config.initial_lambda; n];
         let lam_b = config.background_weight;
         let mut background = vec![0.0; v_dim];
         for r in cuboid.entries() {
             background[r.item.index()] += r.value;
         }
-        tcam_math::vecops::normalize_in_place(&mut background);
+        vecops::normalize_in_place(&mut background);
+
+        // All training-loop buffers are allocated here, once.
+        let shards = em::em_shard_plan(cuboid);
+        let mut user_stats = em::UserStats::zeros(n, k1);
+        let mut scratch: Vec<EmScratch> =
+            shards.iter().map(|_| EmScratch::new(v_dim, k1)).collect();
+        let mut theta_t_num = Matrix::zeros(t_dim, v_dim);
+        let mut post0 = vec![0.0; cuboid.nnz()];
 
         let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
         let mut converged = false;
 
         for iteration in 0..config.max_iterations {
-            let stats = {
+            user_stats.reset();
+            for s in scratch.iter_mut() {
+                s.reset();
+            }
+            {
                 let theta = &theta;
                 let phi_item = &phi_item;
                 let theta_t = &theta_t;
-                let lambda = &lambda;
-                let background = &background;
-                run_sharded(cuboid, config.num_threads, |users| {
-                    let mut stats = Stats::zeros(n, t_dim, v_dim, k1);
+                let lambda = &lambda[..];
+                let background = &background[..];
+                // Each shard also owns the window of the `post0` buffer
+                // covering exactly its users' entries.
+                let mut post0_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
+                let mut rest = post0.as_mut_slice();
+                let mut consumed = 0usize;
+                for r in &shards {
+                    let end = cuboid.entry_range(r.clone()).end;
+                    let (head, tail) = rest.split_at_mut(end - consumed);
+                    post0_views.push(head);
+                    rest = tail;
+                    consumed = end;
+                }
+                let tasks: Vec<_> = shards
+                    .iter()
+                    .cloned()
+                    .zip(user_stats.split(&shards))
+                    .zip(scratch.iter_mut().zip(post0_views))
+                    .collect();
+                run_tasks(config.num_threads, tasks, |((users, mut view), (shard, post0_out))| {
+                    let base = cuboid.entry_range(users.clone()).start;
                     for u in users {
                         e_step_user(
                             cuboid,
@@ -148,20 +161,28 @@ impl ItcamModel {
                             lambda,
                             background,
                             lam_b,
-                            &mut stats,
+                            base,
+                            post0_out,
+                            &mut view,
+                            shard,
                         );
                     }
-                    stats
-                })
-                .into_iter()
-                .reduce(Stats::merge)
-                .expect("at least one shard")
-            };
+                });
+            }
+            em::merge_tree(&mut scratch);
+            let log_likelihood = scratch[0].log_likelihood;
 
-            trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
+            // Entry-order scatter of the context posteriors into the
+            // Eq. 10 numerator — same order for every thread count.
+            theta_t_num.as_mut_slice().fill(0.0);
+            for (r, &p) in cuboid.entries().iter().zip(post0.iter()) {
+                theta_t_num.add_at(r.time.index(), r.item.index(), p);
+            }
+
+            trace.push(FitTrace { iteration, log_likelihood });
             if iteration > 0 {
                 let prev = trace[iteration - 1].log_likelihood;
-                let rel = (stats.log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
+                let rel = (log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
                 if config.tolerance > 0.0 && rel < config.tolerance {
                     converged = true;
                     break;
@@ -170,7 +191,9 @@ impl ItcamModel {
 
             m_step(
                 config.lambda_shrinkage,
-                &stats,
+                &user_stats,
+                &scratch[0],
+                &theta_t_num,
                 &mut theta,
                 &mut phi_item,
                 &mut theta_t,
@@ -180,7 +203,7 @@ impl ItcamModel {
 
         // Convert the work layout to the row-major topic layout used by
         // scoring and inspection.
-        let phi = transpose_normalized(&phi_item, k1, v_dim);
+        let phi = phi_item.transpose();
         Ok(FitResult {
             model: ItcamModel { theta, phi, theta_t, lambda, background, background_weight: lam_b },
             trace,
@@ -267,34 +290,58 @@ impl ItcamModel {
             if w == 0.0 {
                 continue;
             }
-            tcam_math::vecops::axpy(scores, self.phi.row(z), w);
+            vecops::scaled_add(scores, self.phi.row(z), w);
         }
-        tcam_math::vecops::axpy(scores, self.theta_t.row(time.index()), 1.0 - lam);
+        vecops::scaled_add(scores, self.theta_t.row(time.index()), 1.0 - lam);
         let lam_b = self.background_weight;
         if lam_b > 0.0 {
             for s in scores.iter_mut() {
                 *s *= 1.0 - lam_b;
             }
-            tcam_math::vecops::axpy(scores, &self.background, lam_b);
+            vecops::scaled_add(scores, &self.background, lam_b);
         }
     }
 
     /// Data log-likelihood of an arbitrary cuboid under this model
     /// (e.g., held-out perplexity). Cells the model assigns zero mass
     /// are floored at `f64::MIN_POSITIVE`.
+    ///
+    /// Streams entries grouped per user (entries are `(u, t, v)` sorted):
+    /// `lambda_u`/`theta_u` are hoisted out of the inner loop and the
+    /// interest dot reads contiguous rows of an item-major transposed
+    /// copy of `phi`. Per-entry arithmetic order is identical to
+    /// [`Self::predict`], so the result is bitwise equal to the naive
+    /// per-entry evaluation (regression-tested).
     pub fn log_likelihood(&self, cuboid: &RatingCuboid) -> f64 {
-        cuboid
-            .entries()
-            .iter()
-            .map(|r| {
-                let p = self.predict(r.user, r.time, r.item.index());
-                r.value * p.max(f64::MIN_POSITIVE).ln()
-            })
-            .sum()
+        let phi_item = self.phi.transpose();
+        let lam_b = self.background_weight;
+        let mut ll = 0.0;
+        for u in 0..cuboid.num_users() {
+            let entries = cuboid.user_entries(UserId::from(u));
+            if entries.is_empty() {
+                continue;
+            }
+            let lam = self.lambda[u];
+            let theta_u = self.theta.row(u);
+            for r in entries {
+                let v = r.item.index();
+                let interest = vecops::dot(theta_u, phi_item.row(v));
+                let p = lam_b * self.background[v]
+                    + (1.0 - lam_b)
+                        * (lam * interest + (1.0 - lam) * self.theta_t.get(r.time.index(), v));
+                ll += r.value * p.max(f64::MIN_POSITIVE).ln();
+            }
+        }
+        ll
     }
 }
 
 /// E-step contributions of one user's entries (Eqs. 4–6).
+///
+/// Per-user statistics go into this shard's disjoint
+/// [`em::UserStatsView`] window; the Eq. 10 contribution `c * post0` is
+/// recorded per entry into the shard's `post0_out` window (rebased by
+/// `entry_base`) for the later entry-order scatter.
 #[allow(clippy::too_many_arguments)]
 fn e_step_user(
     cuboid: &RatingCuboid,
@@ -305,112 +352,79 @@ fn e_step_user(
     lambda: &[f64],
     background: &[f64],
     lam_b: f64,
-    stats: &mut Stats,
+    entry_base: usize,
+    post0_out: &mut [f64],
+    view: &mut em::UserStatsView<'_>,
+    shard: &mut EmScratch,
 ) {
     let u = user.index();
     let lam = lambda[u];
+    // Per-user mixture weights, hoisted out of the entry loop; see the
+    // TTCAM twin for the one-division-per-rating cancellation.
+    let w1 = (1.0 - lam_b) * lam;
+    let w0 = (1.0 - lam_b) * (1.0 - lam);
     let theta_u = theta.row(u);
-    let k1 = theta.cols();
-    let mut a = vec![0.0; k1];
-    for r in cuboid.user_entries(user) {
+    let range = cuboid.user_entry_range(user);
+    let entries = &cuboid.entries()[range.clone()];
+    let user_post0 = &mut post0_out[range.start - entry_base..][..entries.len()];
+    let theta_num_u = view.theta_row_mut(u);
+    let mut lambda_num = 0.0;
+    let mut mass = 0.0;
+    let mut ll = em::LogLikelihoodAcc::new();
+    for (r, p_out) in entries.iter().zip(user_post0.iter_mut()) {
         let v = r.item.index();
         let t = r.time.index();
         let c = r.value;
+
         let phi_v = phi_item.row(v);
-        let mut a_sum = 0.0;
-        for z in 0..k1 {
-            let val = theta_u[z] * phi_v[z];
-            a[z] = val;
-            a_sum += val;
-        }
-        let p1 = (1.0 - lam_b) * lam * a_sum;
-        let p0 = (1.0 - lam_b) * (1.0 - lam) * theta_t.get(t, v);
-        let denom = lam_b * background[v] + p1 + p0;
-        if denom <= 0.0 {
-            // The model assigns this cell zero mass (can only happen
-            // with degenerate inputs); it contributes nothing.
-            stats.log_likelihood += c * f64::MIN_POSITIVE.ln();
-            continue;
-        }
-        stats.log_likelihood += c * denom.ln();
-        let post1 = p1 / denom;
-        let post0 = p0 / denom;
-        if a_sum > 0.0 {
-            let scale = c * post1 / a_sum;
-            let theta_row = stats.theta_num.row_mut(u);
-            for z in 0..k1 {
-                theta_row[z] += scale * a[z];
+        vecops::dot_dual_update(theta_num_u, shard.phi_item_num.row_mut(v), theta_u, phi_v, {
+            let (ll, lambda_num, mass) = (&mut ll, &mut lambda_num, &mut mass);
+            move |a_sum| {
+                let p1 = w1 * a_sum;
+                let p0 = w0 * theta_t.get(t, v);
+                let denom = lam_b * background[v] + p1 + p0;
+                if denom <= 0.0 {
+                    // The model assigns this cell zero mass (can only
+                    // happen with degenerate inputs); it contributes
+                    // nothing.
+                    ll.add_floor(c);
+                    *p_out = 0.0;
+                    return 0.0;
+                }
+                ll.add(c, denom);
+                let inv = c / denom;
+                *p_out = inv * p0;
+                *lambda_num += inv * p1;
+                *mass += inv * (p1 + p0);
+                inv * w1
             }
-            let phi_row = stats.phi_item_num.row_mut(v);
-            for z in 0..k1 {
-                phi_row[z] += scale * a[z];
-            }
-        }
-        stats.theta_t_num.add_at(t, v, c * post0);
-        stats.lambda_num[u] += c * post1;
-        stats.mass[u] += c * (post1 + post0);
+        });
     }
+    shard.log_likelihood += ll.finish();
+    view.lambda_mass_add(u, lambda_num, mass);
 }
 
 /// M-step: normalize sufficient statistics into parameters (Eqs. 8–11).
+#[allow(clippy::too_many_arguments)]
 fn m_step(
     lambda_shrinkage: f64,
-    stats: &Stats,
+    user_stats: &em::UserStats,
+    shared: &EmScratch,
+    theta_t_num: &Matrix,
     theta: &mut Matrix,
     phi_item: &mut Matrix,
     theta_t: &mut Matrix,
     lambda: &mut [f64],
 ) {
-    let n = theta.rows();
-    let k1 = theta.cols();
-    let v_dim = phi_item.rows();
-    let t_dim = theta_t.rows();
-
-    // theta_u (Eq. 8): normalize each user's topic numerators.
-    for u in 0..n {
-        let src = stats.theta_num.row(u);
-        let dst = theta.row_mut(u);
-        dst.copy_from_slice(src);
-        tcam_math::vecops::normalize_in_place(dst);
-    }
-
-    // phi_z (Eq. 9): column-normalize the item-major numerators.
-    let mut col_sums = vec![0.0; k1];
-    for v in 0..v_dim {
-        for (z, &val) in stats.phi_item_num.row(v).iter().enumerate() {
-            col_sums[z] += val;
-        }
-    }
-    for v in 0..v_dim {
-        let src = stats.phi_item_num.row(v);
-        let dst = phi_item.row_mut(v);
-        for z in 0..k1 {
-            dst[z] = if col_sums[z] > 0.0 { src[z] / col_sums[z] } else { 1.0 / v_dim as f64 };
-        }
-    }
-
-    // theta'_t (Eq. 10): normalize each interval over items.
-    for t in 0..t_dim {
-        let src = stats.theta_t_num.row(t);
-        let dst = theta_t.row_mut(t);
-        dst.copy_from_slice(src);
-        tcam_math::vecops::normalize_in_place(dst);
-    }
-
-    crate::config::update_lambda(lambda_shrinkage, &stats.lambda_num, &stats.mass, lambda);
-}
-
-/// Converts item-major `phi_item[v][z]` (already column-normalized) into
-/// topic-major `phi[z][v]`.
-fn transpose_normalized(phi_item: &Matrix, k1: usize, v_dim: usize) -> Matrix {
-    let mut phi = Matrix::zeros(k1, v_dim);
-    for v in 0..v_dim {
-        let row = phi_item.row(v);
-        for z in 0..k1 {
-            phi.set(z, v, row[z]);
-        }
-    }
-    phi
+    em::normalize_rows(&user_stats.theta_num, theta);
+    em::column_normalize(&shared.phi_item_num, phi_item);
+    em::normalize_rows(theta_t_num, theta_t);
+    crate::config::update_lambda(
+        lambda_shrinkage,
+        &user_stats.lambda_num,
+        &user_stats.mass,
+        lambda,
+    );
 }
 
 #[cfg(test)]
@@ -491,22 +505,44 @@ mod tests {
     }
 
     #[test]
-    fn parallel_fit_matches_serial() {
+    fn parallel_fit_is_bitwise_identical_to_serial() {
+        // The shard plan and merge tree depend only on the data, so any
+        // thread count must reproduce the serial fit *exactly* — full
+        // log-likelihood trace, lambdas, and predictions, to the bit.
         let data = synth::SynthDataset::generate(synth::tiny(5)).unwrap();
         let base = FitConfig::default().with_user_topics(4).with_iterations(5).with_seed(9);
         let serial = ItcamModel::fit(&data.cuboid, &base).unwrap();
-        let parallel = ItcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
-        // Same init + deterministic merge order => identical trajectories
-        // up to floating addition order; allow a tiny tolerance.
-        let a = serial.final_log_likelihood();
-        let b = parallel.final_log_likelihood();
-        assert!((a - b).abs() < 1e-6 * a.abs(), "serial {a} vs parallel {b}");
-        assert!(serial
-            .model
-            .lambdas()
+        for threads in [2usize, 4] {
+            let par = ItcamModel::fit(&data.cuboid, &base.clone().with_threads(threads)).unwrap();
+            assert_eq!(serial.trace, par.trace, "trace at {threads} threads");
+            assert_eq!(serial.model.lambdas(), par.model.lambdas());
+            let mut a = vec![0.0; serial.model.num_items()];
+            let mut b = a.clone();
+            for (u, t) in [(0u32, 0u32), (3, 2), (17, 7)] {
+                serial.model.predict_all(UserId(u), TimeId(t), &mut a);
+                par.model.predict_all(UserId(u), TimeId(t), &mut b);
+                assert_eq!(a, b, "predictions at {threads} threads for u{u} t{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_likelihood_matches_per_entry_path() {
+        // The grouped/transposed fast path must agree bit-for-bit with
+        // the naive per-entry evaluation through `predict`.
+        let (data, result) = fit_tiny(8, 8);
+        let m = &result.model;
+        let reference: f64 = data
+            .cuboid
+            .entries()
             .iter()
-            .zip(parallel.model.lambdas())
-            .all(|(x, y)| (x - y).abs() < 1e-8));
+            .map(|r| {
+                let p = m.predict(r.user, r.time, r.item.index());
+                r.value * p.max(f64::MIN_POSITIVE).ln()
+            })
+            .sum();
+        let fast = m.log_likelihood(&data.cuboid);
+        assert_eq!(fast, reference, "fast {fast} vs per-entry {reference}");
     }
 
     #[test]

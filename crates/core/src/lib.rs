@@ -17,8 +17,10 @@
 //! different model, exactly as in Section 3.3.
 //!
 //! The E-step is embarrassingly parallel across ratings; [`FitConfig`]
-//! selects a thread count and the engine shards users across scoped
-//! threads (`std::thread::scope`), merging per-thread sufficient statistics.
+//! selects a thread count and the engine runs a fixed, data-dependent
+//! shard plan on scoped threads (`std::thread::scope`), merging reusable
+//! per-shard sufficient statistics with a deterministic pairwise tree —
+//! fits are bitwise identical for every `num_threads`.
 
 // Lint policy: `!(x > 0.0)` is used deliberately throughout to treat
 // NaN as invalid (a plain `x <= 0.0` would accept NaN); indexed loops in
@@ -28,6 +30,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod config;
+mod em;
 pub mod foldin;
 pub mod inspect;
 pub mod itcam;

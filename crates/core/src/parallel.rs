@@ -62,6 +62,43 @@ where
     })
 }
 
+/// Runs a fixed list of pre-built shard tasks on up to `num_threads`
+/// scoped threads, each task exactly once.
+///
+/// Unlike [`run_sharded`], the *tasks* (not the partition) are chosen by
+/// the caller — the EM kernel builds one task per fixed shard carrying
+/// that shard's `&mut` scratch, so the work done per shard is identical
+/// for every thread count; threads only change which tasks run
+/// concurrently. Tasks are distributed as contiguous chunks (they are
+/// already entry-balanced). With one thread everything runs on the
+/// caller's thread, spawn-free.
+pub fn run_tasks<T, F>(num_threads: usize, mut tasks: Vec<T>, work: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let num_threads = num_threads.max(1).min(tasks.len().max(1));
+    if num_threads <= 1 {
+        for task in tasks {
+            work(task);
+        }
+        return;
+    }
+    let chunk = tasks.len().div_ceil(num_threads);
+    std::thread::scope(|scope| {
+        while !tasks.is_empty() {
+            let take = chunk.min(tasks.len());
+            let group: Vec<T> = tasks.drain(..take).collect();
+            let work = &work;
+            scope.spawn(move || {
+                for task in group {
+                    work(task);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +174,29 @@ mod tests {
                 .sum();
         assert_eq!(serial, parallel);
         assert_eq!(serial, c.nnz());
+    }
+
+    #[test]
+    fn run_tasks_runs_every_task_once_at_any_thread_count() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 2, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+            let tasks: Vec<usize> = (0..5).collect();
+            run_tasks(threads, tasks, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_passes_mutable_state_through() {
+        let mut buffers = [vec![0.0f64; 4], vec![0.0; 4], vec![0.0; 4]];
+        let tasks: Vec<(usize, &mut Vec<f64>)> = buffers.iter_mut().enumerate().collect();
+        run_tasks(2, tasks, |(i, buf)| buf[0] = i as f64 + 1.0);
+        assert_eq!([buffers[0][0], buffers[1][0], buffers[2][0]], [1.0, 2.0, 3.0]);
     }
 
     #[test]

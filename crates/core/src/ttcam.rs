@@ -10,13 +10,23 @@
 //!
 //! EM updates are Eqs. 13–16 for the temporal side plus the shared
 //! Eqs. 8, 9, 11 for the interest side and mixing weights.
+//!
+//! The training kernel is sparsity-aware and allocation-free per
+//! iteration (DESIGN.md §11): the context products `b[x] = theta'_t[x] *
+//! phi'_x[v]` depend only on `(t, v)`, so they are computed once per
+//! distinct pair of the cuboid's [`TimeItemIndex`] support into a shared
+//! read-only table and looked up per rating; per-shard sufficient
+//! statistics live in reusable [`EmScratch`] buffers merged with a
+//! deterministic pairwise tree, making the fit bitwise reproducible for
+//! any `num_threads`.
 
-use crate::config::{random_distribution, FitConfig, FitResult, FitTrace};
-use crate::parallel::run_sharded;
+use crate::config::{FitConfig, FitResult, FitTrace};
+use crate::em::{self, MergeStats};
+use crate::parallel::run_tasks;
 use crate::{ModelError, Result};
 use serde::{Deserialize, Serialize};
-use tcam_data::{RatingCuboid, TimeId, UserId};
-use tcam_math::{Matrix, Pcg64};
+use tcam_data::{RatingCuboid, TimeId, TimeItemIndex, UserId};
+use tcam_math::{vecops, Matrix, Pcg64};
 
 /// A fitted topic-based TCAM model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,43 +48,38 @@ pub struct TtcamModel {
     background_weight: f64,
 }
 
-/// Per-shard sufficient statistics.
-struct Stats {
-    theta_num: Matrix,
+/// Reusable per-shard E-step scratch: this shard's copy of the shared
+/// item-major interest numerator plus its responsibility buffer.
+/// Allocated once per fit and zeroed — never reallocated — between
+/// iterations.
+///
+/// The temporal numerators (Eqs. 15, 16) deliberately do *not* live
+/// here: each entry's context contribution is `weight * b_pair`, a
+/// scalar times a pair-shared vector, so shards record only the scalar
+/// (into disjoint windows of one `nnz` buffer) and a sequential
+/// per-pair pass rebuilds both numerators afterwards — `K2`-vector
+/// work per *distinct pair* instead of per rating.
+struct EmScratch {
+    /// `V x K1` numerators for Eq. 9.
     phi_item_num: Matrix,
-    theta_t_num: Matrix,
-    phi_t_item_num: Matrix,
-    lambda_num: Vec<f64>,
-    mass: Vec<f64>,
     log_likelihood: f64,
 }
 
-impl Stats {
-    fn zeros(n: usize, t: usize, v: usize, k1: usize, k2: usize) -> Self {
-        Stats {
-            theta_num: Matrix::zeros(n, k1),
-            phi_item_num: Matrix::zeros(v, k1),
-            theta_t_num: Matrix::zeros(t, k2),
-            phi_t_item_num: Matrix::zeros(v, k2),
-            lambda_num: vec![0.0; n],
-            mass: vec![0.0; n],
-            log_likelihood: 0.0,
-        }
+impl EmScratch {
+    fn new(v_dim: usize, k1: usize) -> Self {
+        EmScratch { phi_item_num: Matrix::zeros(v_dim, k1), log_likelihood: 0.0 }
     }
 
-    fn merge(mut acc: Stats, other: Stats) -> Stats {
-        acc.theta_num.add_assign(&other.theta_num).expect("equal shapes");
-        acc.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
-        acc.theta_t_num.add_assign(&other.theta_t_num).expect("equal shapes");
-        acc.phi_t_item_num.add_assign(&other.phi_t_item_num).expect("equal shapes");
-        for (a, b) in acc.lambda_num.iter_mut().zip(other.lambda_num.iter()) {
-            *a += b;
-        }
-        for (a, b) in acc.mass.iter_mut().zip(other.mass.iter()) {
-            *a += b;
-        }
-        acc.log_likelihood += other.log_likelihood;
-        acc
+    fn reset(&mut self) {
+        self.phi_item_num.as_mut_slice().fill(0.0);
+        self.log_likelihood = 0.0;
+    }
+}
+
+impl MergeStats for EmScratch {
+    fn merge_from(&mut self, other: &Self) {
+        self.phi_item_num.add_assign(&other.phi_item_num).expect("equal shapes");
+        self.log_likelihood += other.log_likelihood;
     }
 }
 
@@ -83,6 +88,11 @@ impl TtcamModel {
     ///
     /// Fitting a cuboid pre-transformed by
     /// [`tcam_data::ItemWeighting::apply`] yields the paper's W-TTCAM.
+    ///
+    /// The shard plan, accumulation order, and merge tree depend only on
+    /// the data — `config.num_threads` changes wall-clock, never the
+    /// result: traces and parameters are bitwise identical across thread
+    /// counts.
     pub fn fit(cuboid: &RatingCuboid, config: &FitConfig) -> Result<FitResult<Self>> {
         config.validate()?;
         if cuboid.nnz() == 0 {
@@ -96,61 +106,146 @@ impl TtcamModel {
 
         let mut rng = Pcg64::new(config.seed);
         let mut theta = Matrix::zeros(n, k1);
-        for u in 0..n {
-            theta.row_mut(u).copy_from_slice(&random_distribution(k1, &mut rng));
-        }
-        let mut phi_item = init_item_major(v_dim, k1, &mut rng);
+        em::random_rows(&mut theta, &mut rng);
+        let mut phi_item = em::init_item_major(v_dim, k1, &mut rng);
         let mut theta_t = Matrix::zeros(t_dim, k2);
-        for t in 0..t_dim {
-            theta_t.row_mut(t).copy_from_slice(&random_distribution(k2, &mut rng));
-        }
-        let mut phi_t_item = init_item_major(v_dim, k2, &mut rng);
+        em::random_rows(&mut theta_t, &mut rng);
+        let mut phi_t_item = em::init_item_major(v_dim, k2, &mut rng);
         let mut lambda = vec![config.initial_lambda; n];
         let lam_b = config.background_weight;
         let mut background = vec![0.0; v_dim];
         for r in cuboid.entries() {
             background[r.item.index()] += r.value;
         }
-        tcam_math::vecops::normalize_in_place(&mut background);
+        vecops::normalize_in_place(&mut background);
+
+        // All training-loop buffers are allocated here, once.
+        let shards = em::em_shard_plan(cuboid);
+        let ctx_index = TimeItemIndex::new(cuboid);
+        let mut ctx_sum = vec![0.0; ctx_index.num_pairs()];
+        let mut b = vec![0.0; k2];
+        let mut user_stats = em::UserStats::zeros(n, k1);
+        let mut scratch: Vec<EmScratch> =
+            shards.iter().map(|_| EmScratch::new(v_dim, k1)).collect();
+        let mut theta_t_num = Matrix::zeros(t_dim, k2);
+        let mut phi_t_item_num = Matrix::zeros(v_dim, k2);
+        let mut ctx_weight = vec![0.0; cuboid.nnz()];
+        let mut pair_weight = vec![0.0; ctx_index.num_pairs()];
 
         let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
         let mut converged = false;
 
         for iteration in 0..config.max_iterations {
-            let stats = {
+            // Refresh the shared (t, v) context cache: the Eq. 12
+            // normalizer `b_sum = sum_x theta'_t[x] * phi'_x[v]` is
+            // user-independent, so one evaluation per *distinct* pair
+            // serves every rating that shares it.
+            for (p, &(t, v)) in ctx_index.pairs().iter().enumerate() {
+                ctx_sum[p] =
+                    vecops::dot_unrolled(theta_t.row(t.index()), phi_t_item.row(v.index()));
+            }
+
+            user_stats.reset();
+            for s in scratch.iter_mut() {
+                s.reset();
+            }
+            {
                 let theta = &theta;
                 let phi_item = &phi_item;
-                let theta_t = &theta_t;
-                let phi_t_item = &phi_t_item;
-                let lambda = &lambda;
-                let background = &background;
-                run_sharded(cuboid, config.num_threads, |users| {
-                    let mut stats = Stats::zeros(n, t_dim, v_dim, k1, k2);
+                let ctx_sum = &ctx_sum[..];
+                let ctx_index = &ctx_index;
+                let lambda = &lambda[..];
+                let background = &background[..];
+                // Each shard also owns the window of the `ctx_weight`
+                // buffer covering exactly its users' entries.
+                let mut weight_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
+                let mut rest = ctx_weight.as_mut_slice();
+                let mut consumed = 0usize;
+                for r in &shards {
+                    let end = cuboid.entry_range(r.clone()).end;
+                    let (head, tail) = rest.split_at_mut(end - consumed);
+                    weight_views.push(head);
+                    rest = tail;
+                    consumed = end;
+                }
+                let tasks: Vec<_> = shards
+                    .iter()
+                    .cloned()
+                    .zip(user_stats.split(&shards))
+                    .zip(scratch.iter_mut().zip(weight_views))
+                    .collect();
+                run_tasks(config.num_threads, tasks, |((users, mut view), (shard, weights))| {
+                    let base = cuboid.entry_range(users.clone()).start;
                     for u in users {
                         e_step_user(
                             cuboid,
                             UserId::from(u),
                             theta,
                             phi_item,
-                            theta_t,
-                            phi_t_item,
+                            ctx_sum,
+                            ctx_index,
                             lambda,
                             background,
                             lam_b,
-                            &mut stats,
+                            base,
+                            weights,
+                            &mut view,
+                            shard,
                         );
                     }
-                    stats
-                })
-                .into_iter()
-                .reduce(Stats::merge)
-                .expect("at least one shard")
-            };
+                });
+            }
+            em::merge_tree(&mut scratch);
+            let log_likelihood = scratch[0].log_likelihood;
 
-            trace.push(FitTrace { iteration, log_likelihood: stats.log_likelihood });
+            // Rebuild the temporal numerators (Eqs. 15, 16) from the
+            // per-entry context weights: fold the weights onto their
+            // pairs in entry order, then walk the pair list — which is
+            // sorted by `(t, v)` — one `t`-run at a time. Within a run
+            // the `phi'` row gets `w * (theta'_t ∘ phi'_v)` per pair,
+            // while the `theta'_t` contribution factors as `theta'_t ∘
+            // (sum_v w * phi'_v)` and is added once per run. Both
+            // passes are sequential and in fixed order, so the result
+            // is thread-count independent.
+            pair_weight.fill(0.0);
+            for (e, &w) in ctx_weight.iter().enumerate() {
+                pair_weight[ctx_index.pair_of(e)] += w;
+            }
+            theta_t_num.as_mut_slice().fill(0.0);
+            phi_t_item_num.as_mut_slice().fill(0.0);
+            let pairs = ctx_index.pairs();
+            let mut p = 0;
+            while p < pairs.len() {
+                let t = pairs[p].0;
+                let run_end = p + pairs[p..].iter().take_while(|&&(pt, _)| pt == t).count();
+                let theta_t_row = theta_t.row(t.index());
+                b.fill(0.0);
+                let mut run_has_mass = false;
+                for q in p..run_end {
+                    let w = pair_weight[q];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    run_has_mass = true;
+                    let v = pairs[q].1.index();
+                    vecops::scaled_add(&mut b, phi_t_item.row(v), w);
+                    vecops::scaled_mul_add(
+                        phi_t_item_num.row_mut(v),
+                        theta_t_row,
+                        phi_t_item.row(v),
+                        w,
+                    );
+                }
+                if run_has_mass {
+                    vecops::scaled_mul_add(theta_t_num.row_mut(t.index()), theta_t_row, &b, 1.0);
+                }
+                p = run_end;
+            }
+
+            trace.push(FitTrace { iteration, log_likelihood });
             if iteration > 0 {
                 let prev = trace[iteration - 1].log_likelihood;
-                let rel = (stats.log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
+                let rel = (log_likelihood - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
                 if config.tolerance > 0.0 && rel < config.tolerance {
                     converged = true;
                     break;
@@ -159,7 +254,10 @@ impl TtcamModel {
 
             m_step(
                 config.lambda_shrinkage,
-                &stats,
+                &user_stats,
+                &scratch[0],
+                &theta_t_num,
+                &phi_t_item_num,
                 &mut theta,
                 &mut phi_item,
                 &mut theta_t,
@@ -168,8 +266,8 @@ impl TtcamModel {
             );
         }
 
-        let phi = transpose_item_major(&phi_item, k1, v_dim);
-        let phi_t = transpose_item_major(&phi_t_item, k2, v_dim);
+        let phi = phi_item.transpose();
+        let phi_t = phi_t_item.transpose();
         Ok(FitResult {
             model: TtcamModel {
                 theta,
@@ -291,7 +389,7 @@ impl TtcamModel {
             if w == 0.0 {
                 continue;
             }
-            tcam_math::vecops::axpy(scores, self.phi.row(z), w);
+            vecops::scaled_add(scores, self.phi.row(z), w);
         }
         let lam_b = self.background_weight;
         let theta_t = self.theta_t.row(t);
@@ -300,194 +398,154 @@ impl TtcamModel {
             if w == 0.0 {
                 continue;
             }
-            tcam_math::vecops::axpy(scores, self.phi_t.row(x), w);
+            vecops::scaled_add(scores, self.phi_t.row(x), w);
         }
         if lam_b > 0.0 {
             for s in scores.iter_mut() {
                 *s *= 1.0 - lam_b;
             }
-            tcam_math::vecops::axpy(scores, &self.background, lam_b);
+            vecops::scaled_add(scores, &self.background, lam_b);
         }
     }
 
     /// Data log-likelihood of an arbitrary cuboid under this model.
+    ///
+    /// Streams entries grouped per `(u, t)` run (entries are `(u, t, v)`
+    /// sorted): `lambda_u`/`theta_u` and the interval's context row are
+    /// hoisted out of the inner loop, and both mixture dots read
+    /// contiguous rows of item-major transposed copies instead of
+    /// striding down the topic-major factors. Per-entry arithmetic order
+    /// is identical to [`Self::predict`], so the result is bitwise equal
+    /// to the naive per-entry evaluation (regression-tested).
     pub fn log_likelihood(&self, cuboid: &RatingCuboid) -> f64 {
-        cuboid
-            .entries()
-            .iter()
-            .map(|r| {
-                let p = self.predict(r.user, r.time, r.item.index());
-                r.value * p.max(f64::MIN_POSITIVE).ln()
-            })
-            .sum()
-    }
-}
-
-/// Random item-major `M[v][k]`, column-normalized so each of the `k`
-/// topics is a distribution over items.
-fn init_item_major(v_dim: usize, k: usize, rng: &mut Pcg64) -> Matrix {
-    let mut m = Matrix::zeros(v_dim, k);
-    let mut col_sums = vec![0.0; k];
-    for v in 0..v_dim {
-        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
-            *cell = 0.5 + rng.next_f64();
-            col_sums[z] += *cell;
+        let phi_item = self.phi.transpose();
+        let phi_t_item = self.phi_t.transpose();
+        let lam_b = self.background_weight;
+        let mut ll = 0.0;
+        for u in 0..cuboid.num_users() {
+            let entries = cuboid.user_entries(UserId::from(u));
+            if entries.is_empty() {
+                continue;
+            }
+            let lam = self.lambda[u];
+            let theta_u = self.theta.row(u);
+            let mut cur_t = usize::MAX;
+            let mut theta_t_row: &[f64] = &[];
+            for r in entries {
+                let t = r.time.index();
+                if t != cur_t {
+                    cur_t = t;
+                    theta_t_row = self.theta_t.row(t);
+                }
+                let v = r.item.index();
+                let interest = vecops::dot(theta_u, phi_item.row(v));
+                let context = vecops::dot(theta_t_row, phi_t_item.row(v));
+                let p = lam_b * self.background[v]
+                    + (1.0 - lam_b) * (lam * interest + (1.0 - lam) * context);
+                ll += r.value * p.max(f64::MIN_POSITIVE).ln();
+            }
         }
+        ll
     }
-    for v in 0..v_dim {
-        for (z, cell) in m.row_mut(v).iter_mut().enumerate() {
-            *cell /= col_sums[z];
-        }
-    }
-    m
-}
-
-/// Transposes item-major `M[v][k]` into topic-major `M[k][v]`.
-fn transpose_item_major(m: &Matrix, k: usize, v_dim: usize) -> Matrix {
-    let mut out = Matrix::zeros(k, v_dim);
-    for v in 0..v_dim {
-        let row = m.row(v);
-        for z in 0..k {
-            out.set(z, v, row[z]);
-        }
-    }
-    out
 }
 
 /// E-step contributions of one user's entries (Eqs. 4, 5, 13, 14).
+///
+/// Per-user statistics go into this shard's disjoint [`em::UserStatsView`]
+/// window (no merge needed); the item-major interest numerator
+/// accumulates in the shard's [`EmScratch`]. The context side needs
+/// only the cached normalizer `ctx_sum[pair]` per rating — its full
+/// `K2` responsibility vector is reconstructed later, once per distinct
+/// pair, from the scalar weight written to `weights` (rebased by
+/// `entry_base`).
 #[allow(clippy::too_many_arguments)]
 fn e_step_user(
     cuboid: &RatingCuboid,
     user: UserId,
     theta: &Matrix,
     phi_item: &Matrix,
-    theta_t: &Matrix,
-    phi_t_item: &Matrix,
+    ctx_sum: &[f64],
+    ctx_index: &TimeItemIndex,
     lambda: &[f64],
     background: &[f64],
     lam_b: f64,
-    stats: &mut Stats,
+    entry_base: usize,
+    weights: &mut [f64],
+    view: &mut em::UserStatsView<'_>,
+    shard: &mut EmScratch,
 ) {
     let u = user.index();
     let lam = lambda[u];
+    // Per-user mixture weights, hoisted out of the entry loop. With
+    // them the responsibilities collapse to one division per rating:
+    // `scale = c*post1/a_sum` and `weight = c*post0/b_sum` both cancel
+    // their normalizer (`post1 = w1*a_sum/denom`), leaving `inv * w1`
+    // and `inv * w0` with `inv = c/denom`.
+    let w1 = (1.0 - lam_b) * lam;
+    let w0 = (1.0 - lam_b) * (1.0 - lam);
     let theta_u = theta.row(u);
-    let k1 = theta.cols();
-    let k2 = theta_t.cols();
-    let mut a = vec![0.0; k1];
-    let mut b = vec![0.0; k2];
-    for r in cuboid.user_entries(user) {
+    let range = cuboid.user_entry_range(user);
+    let entries = &cuboid.entries()[range.clone()];
+    let pair_ids = &ctx_index.entry_pairs()[range.clone()];
+    let user_weights = &mut weights[range.start - entry_base..][..entries.len()];
+    let theta_num_u = view.theta_row_mut(u);
+    let mut lambda_num = 0.0;
+    let mut mass = 0.0;
+    let mut ll = em::LogLikelihoodAcc::new();
+    for ((r, &pair), w_out) in entries.iter().zip(pair_ids).zip(user_weights.iter_mut()) {
         let v = r.item.index();
-        let t = r.time.index();
         let c = r.value;
 
+        let b_sum = ctx_sum[pair as usize];
         let phi_v = phi_item.row(v);
-        let mut a_sum = 0.0;
-        for z in 0..k1 {
-            let val = theta_u[z] * phi_v[z];
-            a[z] = val;
-            a_sum += val;
-        }
-
-        let theta_t_row = theta_t.row(t);
-        let phi_t_v = phi_t_item.row(v);
-        let mut b_sum = 0.0;
-        for x in 0..k2 {
-            let val = theta_t_row[x] * phi_t_v[x];
-            b[x] = val;
-            b_sum += val;
-        }
-
-        let p1 = (1.0 - lam_b) * lam * a_sum;
-        let p0 = (1.0 - lam_b) * (1.0 - lam) * b_sum;
-        let denom = lam_b * background[v] + p1 + p0;
-        if denom <= 0.0 {
-            stats.log_likelihood += c * f64::MIN_POSITIVE.ln();
-            continue;
-        }
-        stats.log_likelihood += c * denom.ln();
-        let post1 = p1 / denom;
-        let post0 = p0 / denom;
-
-        if a_sum > 0.0 {
-            let scale = c * post1 / a_sum;
-            let theta_row = stats.theta_num.row_mut(u);
-            for z in 0..k1 {
-                theta_row[z] += scale * a[z];
+        vecops::dot_dual_update(theta_num_u, shard.phi_item_num.row_mut(v), theta_u, phi_v, {
+            let (ll, lambda_num, mass) = (&mut ll, &mut lambda_num, &mut mass);
+            move |a_sum| {
+                let p1 = w1 * a_sum;
+                let p0 = w0 * b_sum;
+                let denom = lam_b * background[v] + p1 + p0;
+                if denom <= 0.0 {
+                    ll.add_floor(c);
+                    *w_out = 0.0;
+                    return 0.0;
+                }
+                ll.add(c, denom);
+                let inv = c / denom;
+                *w_out = if b_sum > 0.0 { inv * w0 } else { 0.0 };
+                *lambda_num += inv * p1;
+                *mass += inv * (p1 + p0);
+                inv * w1
             }
-            let phi_row = stats.phi_item_num.row_mut(v);
-            for z in 0..k1 {
-                phi_row[z] += scale * a[z];
-            }
-        }
-        if b_sum > 0.0 {
-            let scale = c * post0 / b_sum;
-            let tt_row = stats.theta_t_num.row_mut(t);
-            for x in 0..k2 {
-                tt_row[x] += scale * b[x];
-            }
-            let pt_row = stats.phi_t_item_num.row_mut(v);
-            for x in 0..k2 {
-                pt_row[x] += scale * b[x];
-            }
-        }
-        stats.lambda_num[u] += c * post1;
-        stats.mass[u] += c * (post1 + post0);
+        });
     }
+    shard.log_likelihood += ll.finish();
+    view.lambda_mass_add(u, lambda_num, mass);
 }
 
 /// M-step (Eqs. 8, 9, 11, 15, 16).
+#[allow(clippy::too_many_arguments)]
 fn m_step(
     lambda_shrinkage: f64,
-    stats: &Stats,
+    user_stats: &em::UserStats,
+    shared: &EmScratch,
+    theta_t_num: &Matrix,
+    phi_t_item_num: &Matrix,
     theta: &mut Matrix,
     phi_item: &mut Matrix,
     theta_t: &mut Matrix,
     phi_t_item: &mut Matrix,
     lambda: &mut [f64],
 ) {
-    let n = theta.rows();
-    let v_dim = phi_item.rows();
-    let t_dim = theta_t.rows();
-
-    for u in 0..n {
-        let src = stats.theta_num.row(u);
-        let dst = theta.row_mut(u);
-        dst.copy_from_slice(src);
-        tcam_math::vecops::normalize_in_place(dst);
-    }
-
-    column_normalize(&stats.phi_item_num, phi_item, v_dim);
-
-    for t in 0..t_dim {
-        let src = stats.theta_t_num.row(t);
-        let dst = theta_t.row_mut(t);
-        dst.copy_from_slice(src);
-        tcam_math::vecops::normalize_in_place(dst);
-    }
-
-    column_normalize(&stats.phi_t_item_num, phi_t_item, v_dim);
-
-    crate::config::update_lambda(lambda_shrinkage, &stats.lambda_num, &stats.mass, lambda);
-}
-
-/// Normalizes each column of item-major numerators into `dst` so every
-/// topic is a distribution over items (uniform fallback for empty ones).
-fn column_normalize(src: &Matrix, dst: &mut Matrix, v_dim: usize) {
-    let k = src.cols();
-    let mut col_sums = vec![0.0; k];
-    for v in 0..v_dim {
-        for (z, &val) in src.row(v).iter().enumerate() {
-            col_sums[z] += val;
-        }
-    }
-    for v in 0..v_dim {
-        let src_row = src.row(v);
-        let dst_row = dst.row_mut(v);
-        for z in 0..k {
-            dst_row[z] =
-                if col_sums[z] > 0.0 { src_row[z] / col_sums[z] } else { 1.0 / v_dim as f64 };
-        }
-    }
+    em::normalize_rows(&user_stats.theta_num, theta);
+    em::column_normalize(&shared.phi_item_num, phi_item);
+    em::normalize_rows(theta_t_num, theta_t);
+    em::column_normalize(phi_t_item_num, phi_t_item);
+    crate::config::update_lambda(
+        lambda_shrinkage,
+        &user_stats.lambda_num,
+        &user_stats.mass,
+        lambda,
+    );
 }
 
 #[cfg(test)]
@@ -530,18 +588,18 @@ mod tests {
         let (_, result) = fit_tiny(2, 10);
         let m = &result.model;
         for u in 0..m.num_users() {
-            assert!(tcam_math::vecops::is_distribution(m.user_interest(UserId::from(u)), 1e-8));
+            assert!(vecops::is_distribution(m.user_interest(UserId::from(u)), 1e-8));
             let lam = m.lambda(UserId::from(u));
             assert!((0.0..=1.0).contains(&lam));
         }
         for z in 0..m.num_user_topics() {
-            assert!(tcam_math::vecops::is_distribution(m.user_topic(z), 1e-8));
+            assert!(vecops::is_distribution(m.user_topic(z), 1e-8));
         }
         for t in 0..m.num_times() {
-            assert!(tcam_math::vecops::is_distribution(m.temporal_context(TimeId::from(t)), 1e-8));
+            assert!(vecops::is_distribution(m.temporal_context(TimeId::from(t)), 1e-8));
         }
         for x in 0..m.num_time_topics() {
-            assert!(tcam_math::vecops::is_distribution(m.time_topic(x), 1e-8));
+            assert!(vecops::is_distribution(m.time_topic(x), 1e-8));
         }
     }
 
@@ -568,7 +626,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_fit_matches_serial() {
+    fn parallel_fit_is_bitwise_identical_to_serial() {
+        // The shard plan and merge tree depend only on the data, so any
+        // thread count must reproduce the serial fit *exactly* — full
+        // log-likelihood trace, lambdas, and predictions, to the bit.
         let data = synth::SynthDataset::generate(synth::tiny(5)).unwrap();
         let base = FitConfig::default()
             .with_user_topics(4)
@@ -576,10 +637,37 @@ mod tests {
             .with_iterations(5)
             .with_seed(9);
         let serial = TtcamModel::fit(&data.cuboid, &base).unwrap();
-        let parallel = TtcamModel::fit(&data.cuboid, &base.clone().with_threads(4)).unwrap();
-        let a = serial.final_log_likelihood();
-        let b = parallel.final_log_likelihood();
-        assert!((a - b).abs() < 1e-6 * a.abs(), "serial {a} vs parallel {b}");
+        for threads in [2usize, 4] {
+            let par = TtcamModel::fit(&data.cuboid, &base.clone().with_threads(threads)).unwrap();
+            assert_eq!(serial.trace, par.trace, "trace at {threads} threads");
+            assert_eq!(serial.model.lambdas(), par.model.lambdas());
+            let mut a = vec![0.0; serial.model.num_items()];
+            let mut b = a.clone();
+            for (u, t) in [(0u32, 0u32), (3, 2), (17, 7)] {
+                serial.model.predict_all(UserId(u), TimeId(t), &mut a);
+                par.model.predict_all(UserId(u), TimeId(t), &mut b);
+                assert_eq!(a, b, "predictions at {threads} threads for u{u} t{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_likelihood_matches_per_entry_path() {
+        // The grouped/transposed fast path must agree bit-for-bit with
+        // the naive per-entry evaluation through `predict`.
+        let (data, result) = fit_tiny(7, 8);
+        let m = &result.model;
+        let reference: f64 = data
+            .cuboid
+            .entries()
+            .iter()
+            .map(|r| {
+                let p = m.predict(r.user, r.time, r.item.index());
+                r.value * p.max(f64::MIN_POSITIVE).ln()
+            })
+            .sum();
+        let fast = m.log_likelihood(&data.cuboid);
+        assert_eq!(fast, reference, "fast {fast} vs per-entry {reference}");
     }
 
     #[test]

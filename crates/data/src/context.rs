@@ -1,0 +1,199 @@
+//! Sparse `(t, v)` support index for the EM training kernel.
+//!
+//! In TTCAM's E-step the temporal-context responsibilities `b[x] =
+//! theta'_t[x] * phi'_x[v]` and their normalizer depend only on the
+//! entry's `(time, item)` coordinate — never on the user — yet a naive
+//! kernel recomputes them for every rating of every user. On bursty
+//! social data many users act on the same item in the same interval, so
+//! the number of *distinct* `(t, v)` pairs is well below `nnz`. This
+//! index enumerates that distinct support once at fit start; each EM
+//! iteration then fills one `K2`-wide row per pair and every rating
+//! resolves its context products with a table lookup.
+//!
+//! The index is immutable and aligned with [`RatingCuboid::entries`]
+//! order, so shards can translate a global entry index to a pair id with
+//! a single array read.
+
+use crate::cuboid::RatingCuboid;
+use crate::ids::{ItemId, TimeId};
+
+/// Distinct `(time, item)` pairs of a cuboid plus a per-entry pair id.
+#[derive(Debug, Clone)]
+pub struct TimeItemIndex {
+    /// Distinct `(t, v)` pairs, sorted by `(t, v)`.
+    pairs: Vec<(TimeId, ItemId)>,
+    /// `entry_pair[i]` is the pair id of `cuboid.entries()[i]`.
+    entry_pair: Vec<u32>,
+}
+
+impl TimeItemIndex {
+    /// Enumerates the distinct `(t, v)` support of a cuboid.
+    ///
+    /// When the dense `T x V` grid is not much larger than `nnz` (the
+    /// common case for bursty interval-discretized data), a counting
+    /// pass over a stamp array builds the index in `O(T·V + nnz)` with
+    /// no sorting; otherwise it falls back to `O(nnz log nnz)`
+    /// sort-and-dedup. Both paths produce identical indexes (pairs
+    /// sorted by `(t, v)`). The cuboid's entry order is captured at
+    /// build time, so the index must be rebuilt if a new cuboid is
+    /// derived (subset, coarsen, reweight).
+    pub fn new(cuboid: &RatingCuboid) -> Self {
+        let entries = cuboid.entries();
+        let v_dim = cuboid.num_items();
+        let cells = cuboid.num_times().checked_mul(v_dim);
+        match cells {
+            Some(cells) if cells <= entries.len().saturating_mul(4).max(4096) => {
+                let mut stamp: Vec<u32> = vec![u32::MAX; cells];
+                for r in entries {
+                    stamp[r.time.index() * v_dim + r.item.index()] = 0;
+                }
+                let mut pairs = Vec::with_capacity(entries.len().min(cells));
+                let mut next = 0u32;
+                for (t, row) in stamp.chunks_exact_mut(v_dim.max(1)).enumerate() {
+                    for (v, id) in row.iter_mut().enumerate() {
+                        if *id != u32::MAX {
+                            *id = next;
+                            next += 1;
+                            pairs.push((TimeId(t as u32), ItemId(v as u32)));
+                        }
+                    }
+                }
+                let entry_pair = entries
+                    .iter()
+                    .map(|r| stamp[r.time.index() * v_dim + r.item.index()])
+                    .collect();
+                TimeItemIndex { pairs, entry_pair }
+            }
+            _ => {
+                let mut keys: Vec<u64> =
+                    entries.iter().map(|r| ((r.time.0 as u64) << 32) | r.item.0 as u64).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let entry_pair: Vec<u32> = entries
+                    .iter()
+                    .map(|r| {
+                        let key = ((r.time.0 as u64) << 32) | r.item.0 as u64;
+                        keys.binary_search(&key).expect("every entry key is in the support") as u32
+                    })
+                    .collect();
+                let pairs: Vec<(TimeId, ItemId)> = keys
+                    .into_iter()
+                    .map(|k| (TimeId((k >> 32) as u32), ItemId(k as u32)))
+                    .collect();
+                TimeItemIndex { pairs, entry_pair }
+            }
+        }
+    }
+
+    /// Number of distinct `(t, v)` pairs (the context table's row count).
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The distinct pairs, sorted by `(t, v)`; pair id = position.
+    #[inline]
+    pub fn pairs(&self) -> &[(TimeId, ItemId)] {
+        &self.pairs
+    }
+
+    /// Pair id of the entry at global index `entry` (entries order).
+    #[inline]
+    pub fn pair_of(&self, entry: usize) -> usize {
+        self.entry_pair[entry] as usize
+    }
+
+    /// Per-entry pair ids, aligned with [`RatingCuboid::entries`] order.
+    ///
+    /// Kernels stream a user's subrange of this slice zipped with the
+    /// entries instead of calling [`pair_of`](Self::pair_of) per rating.
+    #[inline]
+    pub fn entry_pairs(&self) -> &[u32] {
+        &self.entry_pair
+    }
+
+    /// How many context evaluations the cache saves per EM iteration:
+    /// `nnz - num_pairs` (zero when every rating has a unique `(t, v)`).
+    #[inline]
+    pub fn saved_evaluations(&self) -> usize {
+        self.entry_pair.len() - self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::Rating;
+    use crate::ids::UserId;
+
+    fn r(u: u32, t: u32, v: u32, val: f64) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value: val }
+    }
+
+    #[test]
+    fn dedupes_shared_pairs_across_users() {
+        // Users 0, 1, 2 all act on (t=1, v=3); user 0 also on (t=0, v=3).
+        let c = RatingCuboid::from_ratings(
+            3,
+            2,
+            4,
+            vec![r(0, 1, 3, 1.0), r(1, 1, 3, 2.0), r(2, 1, 3, 1.0), r(0, 0, 3, 1.0)],
+        )
+        .unwrap();
+        let idx = TimeItemIndex::new(&c);
+        assert_eq!(idx.num_pairs(), 2);
+        assert_eq!(idx.pairs(), &[(TimeId(0), ItemId(3)), (TimeId(1), ItemId(3))]);
+        assert_eq!(idx.saved_evaluations(), 2);
+    }
+
+    #[test]
+    fn entry_pair_agrees_with_entries() {
+        let c = RatingCuboid::from_ratings(
+            4,
+            3,
+            5,
+            vec![
+                r(0, 0, 1, 1.0),
+                r(0, 2, 4, 1.0),
+                r(1, 0, 1, 2.0),
+                r(2, 1, 2, 1.0),
+                r(3, 2, 4, 3.0),
+                r(3, 2, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        let idx = TimeItemIndex::new(&c);
+        for (i, e) in c.entries().iter().enumerate() {
+            let (t, v) = idx.pairs()[idx.pair_of(i)];
+            assert_eq!((t, v), (e.time, e.item), "entry {i}");
+        }
+        assert!(idx.num_pairs() <= c.nnz());
+    }
+
+    #[test]
+    fn sort_fallback_agrees_with_dense_path() {
+        // A cuboid whose `T x V` grid is far larger than nnz takes the
+        // sort path; the same entry pattern on a tight grid takes the
+        // dense path. Pair ordering and per-entry ids must agree.
+        let pattern = [(0u32, 0, 7), (0, 3, 2), (1, 3, 2), (2, 1, 9), (2, 0, 7)];
+        let tight: Vec<Rating> = pattern.iter().map(|&(u, t, v)| r(u, t, v, 1.0)).collect();
+        let dense_idx = TimeItemIndex::new(&RatingCuboid::from_ratings(3, 4, 10, tight).unwrap());
+        let wide: Vec<Rating> = pattern.iter().map(|&(u, t, v)| r(u, t, v, 1.0)).collect();
+        let sparse_idx =
+            TimeItemIndex::new(&RatingCuboid::from_ratings(3, 4000, 1000, wide).unwrap());
+        assert_eq!(dense_idx.pairs(), sparse_idx.pairs());
+        assert_eq!(dense_idx.entry_pair, sparse_idx.entry_pair);
+        // Pairs come out sorted by (t, v) on both paths.
+        let mut sorted = dense_idx.pairs().to_vec();
+        sorted.sort();
+        assert_eq!(sorted, dense_idx.pairs());
+    }
+
+    #[test]
+    fn empty_cuboid_has_empty_support() {
+        let c = RatingCuboid::from_ratings(2, 2, 2, vec![]).unwrap();
+        let idx = TimeItemIndex::new(&c);
+        assert_eq!(idx.num_pairs(), 0);
+        assert_eq!(idx.saved_evaluations(), 0);
+    }
+}

@@ -181,6 +181,26 @@ impl RatingCuboid {
         self.user_offsets[u + 1] - self.user_offsets[u]
     }
 
+    /// Index range into [`Self::entries`] holding one user's cells.
+    ///
+    /// Lets callers that track per-entry side tables (e.g. the EM
+    /// kernel's `(t, v)` context-cache ids) address them by global entry
+    /// index while streaming a user's slice.
+    #[inline]
+    pub fn user_entry_range(&self, user: UserId) -> std::ops::Range<usize> {
+        let u = user.index();
+        self.user_offsets[u]..self.user_offsets[u + 1]
+    }
+
+    /// Index range into [`Self::entries`] covering a contiguous range of
+    /// users. Because entries are `(user, time, item)`-sorted, the range
+    /// is contiguous — this is what lets the EM kernel hand each user
+    /// shard a disjoint `&mut` window of an entry-aligned buffer.
+    #[inline]
+    pub fn entry_range(&self, users: std::ops::Range<usize>) -> std::ops::Range<usize> {
+        self.user_offsets[users.start]..self.user_offsets[users.end]
+    }
+
     /// Iterates the nonzero cells of one time interval.
     pub fn time_entries(&self, time: TimeId) -> impl Iterator<Item = &Rating> + '_ {
         let t = time.index();
@@ -346,6 +366,23 @@ mod tests {
         assert_eq!(c.user_nnz(UserId(2)), 1);
         let total: usize = (0..3).map(|u| c.user_nnz(UserId(u))).sum();
         assert_eq!(total, c.nnz());
+    }
+
+    #[test]
+    fn entry_ranges_are_contiguous_and_aligned() {
+        let c = sample();
+        let mut covered = 0usize;
+        for u in 0..c.num_users() {
+            let r = c.user_entry_range(UserId::from(u));
+            assert_eq!(r.start, covered);
+            assert_eq!(r.len(), c.user_nnz(UserId::from(u)));
+            assert_eq!(&c.entries()[r.clone()], c.user_entries(UserId::from(u)));
+            covered = r.end;
+        }
+        assert_eq!(covered, c.nnz());
+        assert_eq!(c.entry_range(0..c.num_users()), 0..c.nnz());
+        assert_eq!(c.entry_range(1..2), c.user_entry_range(UserId(1)));
+        assert_eq!(c.entry_range(1..1).len(), 0);
     }
 
     #[test]

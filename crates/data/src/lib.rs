@@ -15,6 +15,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod context;
 pub mod cuboid;
 pub mod ids;
 pub mod io;
@@ -24,6 +25,7 @@ pub mod synth;
 pub mod time;
 pub mod weighting;
 
+pub use context::TimeItemIndex;
 pub use cuboid::{Rating, RatingCuboid};
 pub use ids::{ItemId, TimeId, UserId};
 pub use split::{train_test_split, CrossValidation, Split};
