@@ -99,8 +99,12 @@ fn main() {
         let stats = engine.stats();
         eprintln!(
             "threads={num_threads:2}  wall={wall_s:8.3}s  qps={queries_per_s:10.0}  \
-             hit_rate={:.3}  folded={}  p99={:.1}us",
-            stats.cache_hit_rate, stats.folded_queries, stats.latency_p99_us
+             hit_rate={:.3}  folded={}  p99={:.1}us  examined/q={:.0}  blocks_skipped/q={:.0}",
+            stats.cache_hit_rate,
+            stats.folded_queries,
+            stats.latency_p99_us,
+            stats.mean_items_examined,
+            stats.mean_blocks_skipped
         );
         runs.push(RunReport {
             threads: num_threads,

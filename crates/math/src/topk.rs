@@ -35,16 +35,46 @@ impl PartialOrd for Scored {
 ///
 /// Backed by a min-heap of size at most `k`; pushing is `O(log k)` and the
 /// common case of a score below the current threshold is `O(1)`.
+///
+/// Ordering is the [`Scored`] total order — score descending with equal
+/// scores broken by **ascending index** — so for any fixed input set the
+/// kept entries and their order are fully deterministic, independent of
+/// push order. The query kernels rely on this to return bit-identical
+/// item ids for tied scores.
 #[derive(Debug)]
 pub struct TopK {
     k: usize,
     heap: BinaryHeap<std::cmp::Reverse<Scored>>,
 }
 
+impl Default for TopK {
+    /// An empty collector for `k = 0`; call [`Self::reset`] to arm it.
+    fn default() -> Self {
+        TopK { k: 0, heap: BinaryHeap::new() }
+    }
+}
+
 impl TopK {
     /// Creates a collector for the top `k` entries.
     pub fn new(k: usize) -> Self {
         TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Empties the collector and re-arms it for `k` entries, keeping the
+    /// heap's allocation. Scratch-pooled query paths call this once per
+    /// query instead of building a fresh collector.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        if self.heap.capacity() < k + 1 {
+            self.heap.reserve(k + 1 - self.heap.capacity());
+        }
+    }
+
+    /// Current heap capacity (stable across [`Self::reset`] at the same
+    /// `k` — asserted by the zero-allocation serving tests).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Number of entries currently held (`<= k`).
@@ -87,10 +117,17 @@ impl TopK {
         }
     }
 
-    /// Consumes the collector and returns entries sorted best-first.
-    pub fn into_sorted(self) -> Vec<Scored> {
-        let mut entries: Vec<Scored> = self.heap.into_iter().map(|r| r.0).collect();
-        entries.sort_by(|a, b| b.cmp(a));
+    /// Consumes the collector and returns entries sorted best-first
+    /// (score descending, ties by ascending index).
+    pub fn into_sorted(mut self) -> Vec<Scored> {
+        self.drain_sorted()
+    }
+
+    /// Drains the collected entries sorted best-first, leaving the
+    /// collector empty but with its heap allocation intact for reuse.
+    pub fn drain_sorted(&mut self) -> Vec<Scored> {
+        let mut entries: Vec<Scored> = self.heap.drain().map(|r| r.0).collect();
+        entries.sort_unstable_by(|a, b| b.cmp(a));
         entries
     }
 }
@@ -155,6 +192,40 @@ mod tests {
         assert_eq!(collector.threshold(), Some(1.0));
         collector.push(2, 2.0);
         assert_eq!(collector.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_rearms() {
+        let mut collector = TopK::new(3);
+        for i in 0..10 {
+            collector.push(i, i as f64);
+        }
+        let cap = collector.capacity();
+        let first = collector.drain_sorted();
+        assert_eq!(first.iter().map(|s| s.index).collect::<Vec<_>>(), vec![9, 8, 7]);
+        collector.reset(3);
+        assert_eq!(collector.capacity(), cap, "reset must not reallocate");
+        for i in 0..5 {
+            collector.push(i, -(i as f64));
+        }
+        let second = collector.drain_sorted();
+        assert_eq!(second.iter().map(|s| s.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tie_break_is_push_order_independent() {
+        // The kept set and its order depend only on the input set: equal
+        // scores always resolve to the ascending-index prefix.
+        let mut forward = TopK::new(2);
+        let mut reverse = TopK::new(2);
+        for i in 0..6 {
+            forward.push(i, 1.0);
+            reverse.push(5 - i, 1.0);
+        }
+        let f = forward.drain_sorted();
+        let r = reverse.drain_sorted();
+        assert_eq!(f.iter().map(|s| s.index).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(r.iter().map(|s| s.index).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod timing;
 
 pub use eval::{evaluate, EvalConfig, EvalReport, ExcludePolicy, MetricsAtK};
 pub use metrics::{metrics_at_k, RankingMetrics};
-pub use scorer::{FactoredScorer, TemporalScorer};
-pub use ta::{brute_force_top_k, TaIndex, TaResult};
+pub use scorer::{score_all_factored, FactoredScorer, TemporalScorer};
+pub use ta::{brute_force_top_k, QueryScratch, TaIndex, TaResult, BLOCK};

@@ -34,6 +34,36 @@ pub trait FactoredScorer: TemporalScorer {
     /// The active `(factor, weight)` pairs of a query — the nonzero
     /// entries of `vartheta_q` (Eq. 21 expansion).
     fn query_factors(&self, user: UserId, time: TimeId) -> Vec<(usize, f64)>;
+
+    /// Writes the active `(factor, weight)` pairs into a reusable
+    /// buffer. The query kernels call this on their scratch so the
+    /// steady-state hot path allocates nothing; the default falls back
+    /// to [`Self::query_factors`], and the TCAM models override it to
+    /// push directly.
+    fn query_factors_into(&self, user: UserId, time: TimeId, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        out.extend(self.query_factors(user, time));
+    }
+}
+
+/// Dense factored scoring: `out[v] = sum_z w_z * phi_z[v]` accumulated
+/// row-major over the active factors with the fused
+/// [`tcam_math::vecops::scaled_add`] kernel (runtime-dispatched AVX2),
+/// instead of a per-item K-way gather-dot. This is the brute-force /
+/// dense-fallback path for any [`FactoredScorer`]; per item the
+/// operation sequence is `s := fl(s + fl(w_z * phi_z[v]))` over the
+/// active factors in order — exactly the arithmetic the block-max and
+/// classic TA kernels use, so all three paths produce bitwise-identical
+/// scores.
+pub fn score_all_factored<S: FactoredScorer + ?Sized>(
+    scorer: &S,
+    active: &[(usize, f64)],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    for &(z, w) in active {
+        tcam_math::vecops::scaled_add(out, scorer.factor_items(z), w);
+    }
 }
 
 /// A name wrapper so the same model type can appear under different
@@ -82,6 +112,9 @@ impl<M: FactoredScorer> FactoredScorer for Named<M> {
     fn query_factors(&self, user: UserId, time: TimeId) -> Vec<(usize, f64)> {
         self.model.query_factors(user, time)
     }
+    fn query_factors_into(&self, user: UserId, time: TimeId, out: &mut Vec<(usize, f64)>) {
+        self.model.query_factors_into(user, time, out)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -120,21 +153,26 @@ impl FactoredScorer for ItcamModel {
         }
     }
     fn query_factors(&self, user: UserId, time: TimeId) -> Vec<(usize, f64)> {
+        let mut factors = Vec::new();
+        self.query_factors_into(user, time, &mut factors);
+        factors
+    }
+    fn query_factors_into(&self, user: UserId, time: TimeId, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         let lam = self.lambda(user);
         let lam_b = self.background_weight();
         let k1 = self.num_user_topics();
-        let mut factors: Vec<(usize, f64)> = self
-            .user_interest(user)
-            .iter()
-            .enumerate()
-            .filter(|(_, &w)| w > 0.0)
-            .map(|(z, &w)| (z, (1.0 - lam_b) * lam * w))
-            .collect();
-        factors.push((k1 + time.index(), (1.0 - lam_b) * (1.0 - lam)));
+        out.extend(
+            self.user_interest(user)
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(z, &w)| (z, (1.0 - lam_b) * lam * w)),
+        );
+        out.push((k1 + time.index(), (1.0 - lam_b) * (1.0 - lam)));
         if lam_b > 0.0 {
-            factors.push((k1 + self.num_times(), lam_b));
+            out.push((k1 + self.num_times(), lam_b));
         }
-        factors
     }
 }
 
@@ -170,18 +208,24 @@ impl FactoredScorer for TtcamModel {
         }
     }
     fn query_factors(&self, user: UserId, time: TimeId) -> Vec<(usize, f64)> {
+        let mut factors = Vec::new();
+        self.query_factors_into(user, time, &mut factors);
+        factors
+    }
+    fn query_factors_into(&self, user: UserId, time: TimeId, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         let lam = self.lambda(user);
         let lam_b = self.background_weight();
         let k1 = self.num_user_topics();
         let k2 = self.num_time_topics();
-        let mut factors: Vec<(usize, f64)> = self
-            .user_interest(user)
-            .iter()
-            .enumerate()
-            .filter(|(_, &w)| w > 0.0)
-            .map(|(z, &w)| (z, (1.0 - lam_b) * lam * w))
-            .collect();
-        factors.extend(
+        out.extend(
+            self.user_interest(user)
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(z, &w)| (z, (1.0 - lam_b) * lam * w)),
+        );
+        out.extend(
             self.temporal_context(time)
                 .iter()
                 .enumerate()
@@ -189,9 +233,8 @@ impl FactoredScorer for TtcamModel {
                 .map(|(x, &w)| (k1 + x, (1.0 - lam_b) * (1.0 - lam) * w)),
         );
         if lam_b > 0.0 {
-            factors.push((k1 + k2, lam_b));
+            out.push((k1 + k2, lam_b));
         }
-        factors
     }
 }
 
@@ -347,6 +390,49 @@ mod tests {
 
     fn factored_score<S: FactoredScorer>(s: &S, u: UserId, t: TimeId, v: usize) -> f64 {
         s.query_factors(u, t).iter().map(|&(z, w)| w * s.factor_items(z)[v]).sum()
+    }
+
+    #[test]
+    fn query_factors_into_matches_query_factors() {
+        let data = synth::SynthDataset::generate(synth::tiny(83)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(5)
+            .with_background(0.1);
+        let ttcam = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let itcam = ItcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let mut buf = vec![(0usize, 0.0f64); 3]; // stale contents must be cleared
+        for u in 0..4 {
+            for t in 0..4 {
+                let (user, time) = (UserId(u), TimeId(t));
+                ttcam.query_factors_into(user, time, &mut buf);
+                assert_eq!(buf, ttcam.query_factors(user, time));
+                itcam.query_factors_into(user, time, &mut buf);
+                assert_eq!(buf, itcam.query_factors(user, time));
+            }
+        }
+    }
+
+    #[test]
+    fn score_all_factored_matches_per_item_expansion() {
+        let data = synth::SynthDataset::generate(synth::tiny(84)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(5)
+            .with_background(0.2);
+        let model = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let (user, time) = (UserId(2), TimeId(1));
+        let active = model.query_factors(user, time);
+        let mut dense = vec![f64::NAN; model.num_items()];
+        score_all_factored(&model, &active, &mut dense);
+        for (v, &got) in dense.iter().enumerate() {
+            let expected = factored_score(&model, user, time, v);
+            assert!((got - expected).abs() < 1e-12, "item {v}: {got} vs {expected}");
+            let direct = TemporalScorer::score(&model, user, time, v);
+            assert!((got - direct).abs() < 1e-12, "item {v}: {got} vs direct {direct}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Timing helpers for the efficiency studies (Fig. 8 and Table 4).
 
 use crate::scorer::{FactoredScorer, TemporalScorer};
-use crate::ta::TaIndex;
+use crate::ta::{QueryScratch, TaIndex};
 use std::time::{Duration, Instant};
 use tcam_data::{TimeId, UserId};
 
@@ -27,35 +27,70 @@ pub fn time_brute_force<S: TemporalScorer + ?Sized>(
     start.elapsed() / queries.len().max(1) as u32
 }
 
-/// Mean TA top-k latency over a set of queries (index prebuilt, as in
-/// the paper's online setting).
+/// Mean block-max top-k latency over a set of queries (index prebuilt,
+/// as in the paper's online setting; one scratch reused throughout, as
+/// the serving engine does).
 pub fn time_ta<S: FactoredScorer>(
     scorer: &S,
     index: &TaIndex,
     queries: &[(UserId, TimeId)],
     k: usize,
 ) -> Duration {
+    let mut scratch = QueryScratch::new();
     let start = Instant::now();
     for &(u, t) in queries {
-        let top = index.top_k(scorer, u, t, k);
+        let top = index.top_k_with(scorer, u, t, k, &mut scratch);
         std::hint::black_box(top);
     }
     start.elapsed() / queries.len().max(1) as u32
 }
 
-/// Mean items examined by TA over a set of queries.
+/// Mean classic-TA (Algorithm 1) top-k latency over a set of queries.
+pub fn time_ta_classic<S: FactoredScorer>(
+    scorer: &S,
+    index: &TaIndex,
+    queries: &[(UserId, TimeId)],
+    k: usize,
+) -> Duration {
+    let mut scratch = QueryScratch::new();
+    let start = Instant::now();
+    for &(u, t) in queries {
+        let top = index.top_k_classic_with(scorer, u, t, k, &mut scratch);
+        std::hint::black_box(top);
+    }
+    start.elapsed() / queries.len().max(1) as u32
+}
+
+/// Mean `(items examined, blocks skipped)` of the block-max kernel over
+/// a set of queries.
+pub fn mean_query_work<S: FactoredScorer>(
+    scorer: &S,
+    index: &TaIndex,
+    queries: &[(UserId, TimeId)],
+    k: usize,
+) -> (f64, f64) {
+    if queries.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut scratch = QueryScratch::new();
+    let (mut examined, mut skipped) = (0usize, 0usize);
+    for &(u, t) in queries {
+        let result = index.top_k_with(scorer, u, t, k, &mut scratch);
+        examined += result.items_examined;
+        skipped += result.blocks_skipped;
+    }
+    let n = queries.len() as f64;
+    (examined as f64 / n, skipped as f64 / n)
+}
+
+/// Mean items examined by the block-max kernel over a set of queries.
 pub fn mean_items_examined<S: FactoredScorer>(
     scorer: &S,
     index: &TaIndex,
     queries: &[(UserId, TimeId)],
     k: usize,
 ) -> f64 {
-    if queries.is_empty() {
-        return 0.0;
-    }
-    let total: usize =
-        queries.iter().map(|&(u, t)| index.top_k(scorer, u, t, k).items_examined).sum();
-    total as f64 / queries.len() as f64
+    mean_query_work(scorer, index, queries, k).0
 }
 
 #[cfg(test)]
@@ -84,10 +119,13 @@ mod tests {
         let queries: Vec<(UserId, TimeId)> = (0..5).map(|u| (UserId(u), TimeId(0))).collect();
         let bf = time_brute_force(&model, &queries, 5);
         let ta = time_ta(&model, &index, &queries, 5);
-        assert!(bf > Duration::ZERO || ta >= Duration::ZERO);
-        let examined = mean_items_examined(&model, &index, &queries, 5);
+        let classic = time_ta_classic(&model, &index, &queries, 5);
+        assert!(bf > Duration::ZERO || ta >= Duration::ZERO || classic >= Duration::ZERO);
+        let (examined, skipped) = mean_query_work(&model, &index, &queries, 5);
         assert!(examined > 0.0);
         assert!(examined <= model.num_items() as f64);
+        assert!(skipped <= index.num_blocks() as f64);
+        assert_eq!(mean_items_examined(&model, &index, &queries, 5), examined);
     }
 
     #[test]

@@ -203,7 +203,7 @@ impl ServeEngine {
         let buffer = scratch.scores(snap.num_items());
         let items = Arc::new(brute_force_top_k(&scorer, q.user, time, q.k, buffer));
         let examined = snap.num_items();
-        self.stats.record(examined, true, elapsed_nanos(start));
+        self.stats.record(examined, 0, true, elapsed_nanos(start));
         Response { items, items_examined: examined, source: Source::FoldIn, epoch: snap.epoch() }
     }
 
@@ -246,7 +246,7 @@ impl ServeEngine {
         let key: CacheKey = (q.user.0, time.0, q.k.min(u32::MAX as usize) as u32);
 
         if let Some(items) = self.cache.get(&key) {
-            self.stats.record(0, false, elapsed_nanos(start));
+            self.stats.record(0, 0, false, elapsed_nanos(start));
             return Response {
                 items,
                 items_examined: 0,
@@ -255,16 +255,18 @@ impl ServeEngine {
             };
         }
 
-        let (items, examined, source, folded) = if q.user.index() < snap.num_users() {
+        let (items, examined, skipped, source, folded) = if q.user.index() < snap.num_users() {
             match self.config.mode {
                 ScoringMode::Ta => {
-                    let result = snap.index().top_k(snap.model(), q.user, time, q.k);
-                    (result.items, result.items_examined, Source::TaIndex, false)
+                    let result =
+                        snap.index().top_k_with(snap.model(), q.user, time, q.k, scratch.query());
+                    let examined = result.items_examined;
+                    (result.items, examined, result.blocks_skipped, Source::TaIndex, false)
                 }
                 ScoringMode::BruteForce => {
                     let buffer = scratch.scores(snap.num_items());
                     let items = brute_force_top_k(snap.model(), q.user, time, q.k, buffer);
-                    (items, snap.num_items(), Source::BruteForce, false)
+                    (items, snap.num_items(), 0, Source::BruteForce, false)
                 }
             }
         } else {
@@ -273,12 +275,12 @@ impl ServeEngine {
             let scorer = FoldedScorer { model: snap.model(), folded: snap.default_folded() };
             let buffer = scratch.scores(snap.num_items());
             let items = brute_force_top_k(&scorer, q.user, time, q.k, buffer);
-            (items, snap.num_items(), Source::FoldIn, true)
+            (items, snap.num_items(), 0, Source::FoldIn, true)
         };
 
         let items = Arc::new(items);
         self.cache.insert(key, Arc::clone(&items));
-        self.stats.record(examined, folded, elapsed_nanos(start));
+        self.stats.record(examined, skipped, folded, elapsed_nanos(start));
         Response { items, items_examined: examined, source, epoch: snap.epoch() }
     }
 }
@@ -315,6 +317,9 @@ mod tests {
     fn assert_same_scores(a: &[Scored], b: &[Scored]) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
+            // Ties are deterministic (ascending item id) on every path,
+            // so ids must agree outright, not just scores.
+            assert_eq!(x.index, y.index, "item mismatch: {} vs {}", x.index, y.index);
             assert!(
                 (x.score - y.score).abs() < 1e-10,
                 "score mismatch: {} vs {}",
@@ -491,5 +496,29 @@ mod tests {
         assert!(stats.items_examined > 0);
         assert!(stats.latency_p99_us > 0.0);
         assert!(stats.mean_latency_us > 0.0);
+        // Every answered query lands in the kernel-work histograms.
+        assert_eq!(stats.items_examined_log2.iter().sum::<u64>(), 5);
+        assert_eq!(stats.blocks_skipped_log2.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn ta_queries_reuse_worker_scratch_without_reallocation() {
+        let eng = engine(412, ServeConfig::default());
+        // Warm the single sequential worker's scratch at the largest k
+        // the loop uses, then verify its kernel buffers stay put across
+        // many distinct queries.
+        eng.query(Query { user: UserId(0), time: TimeId(0), k: 7 });
+        let fingerprint = {
+            let mut guard = eng.scratch.checkout();
+            guard.query().fingerprint()
+        };
+        for u in 1..30u32 {
+            eng.query(Query { user: UserId(u % 8), time: TimeId(u % 4), k: 1 + (u as usize % 7) });
+        }
+        let after = {
+            let mut guard = eng.scratch.checkout();
+            guard.query().fingerprint()
+        };
+        assert_eq!(fingerprint, after, "steady-state TA path must not reallocate");
     }
 }

@@ -10,11 +10,13 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use tcam_rec::QueryScratch;
 
 /// A reusable per-worker buffer.
 #[derive(Debug, Default)]
 pub struct Scratch {
     scores: Vec<f64>,
+    query: QueryScratch,
 }
 
 impl Scratch {
@@ -26,6 +28,14 @@ impl Scratch {
             self.scores.resize(num_items, 0.0);
         }
         &mut self.scores
+    }
+
+    /// The worker's reusable TA/block-max kernel state; like
+    /// [`Self::scores`], its buffers size themselves on first use and
+    /// are stable thereafter, so the steady-state TA path allocates
+    /// nothing.
+    pub fn query(&mut self) -> &mut QueryScratch {
+        &mut self.query
     }
 
     /// Current buffer length (0 until first use).

@@ -33,9 +33,11 @@ pub struct ModelSnapshot {
 
 impl ModelSnapshot {
     /// Builds a snapshot from a fitted model, paying the `O(K V log V)`
-    /// TA index construction up front.
+    /// TA index construction up front (parallelized across factor
+    /// lists when cores are available).
     pub fn new(model: TtcamModel, epoch: u64) -> Self {
-        let index = TaIndex::build(&model);
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let index = TaIndex::build_with_threads(&model, threads);
         let default_folded = context_only_prior(&model);
         ModelSnapshot { model, index, default_folded, epoch }
     }

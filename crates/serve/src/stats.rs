@@ -3,38 +3,45 @@
 //! Workers record into shared atomics on every query — no mutex on the
 //! hot path — and [`StatsRecorder::report`] folds the counters into a
 //! serializable [`ServingStats`] for dashboards and the load-generator
-//! report. Latencies go into a log2-bucketed histogram: quantiles are
-//! read as the upper edge of the containing bucket, so they are exact
-//! to within a factor of two, which is plenty for serving dashboards.
+//! report. Latencies — and, since the block-max kernel landed, per-query
+//! items-examined and blocks-skipped counts — go into log2-bucketed
+//! histograms: quantiles are read as the upper edge of the containing
+//! bucket, so they are exact to within a factor of two, which is plenty
+//! for serving dashboards.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of log2 buckets; bucket `i` holds latencies in
-/// `[2^(i-1), 2^i)` nanoseconds, with bucket 0 holding `0..1`.
+/// Number of log2 buckets; bucket `i` holds values in
+/// `[2^(i-1), 2^i)`, with bucket 0 holding `0..1`.
 const BUCKETS: usize = 64;
 
-/// A fixed-size histogram over nanosecond latencies.
+/// A fixed-size log2-bucketed histogram over `u64` observations
+/// (nanosecond latencies, items examined, blocks skipped).
 #[derive(Debug)]
-pub struct LatencyHistogram {
+pub struct Log2Histogram {
     buckets: [AtomicU64; BUCKETS],
 }
 
-impl Default for LatencyHistogram {
+/// The pre-rewrite name; latency was the only histogrammed quantity
+/// before the query-kernel counters landed.
+pub type LatencyHistogram = Log2Histogram;
+
+impl Default for Log2Histogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        Log2Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
     }
 }
 
-impl LatencyHistogram {
+impl Log2Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Records one observation.
-    pub fn record(&self, nanos: u64) {
-        let bucket = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -43,9 +50,18 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// The `q`-quantile in nanoseconds, reported as the upper edge of
-    /// the containing bucket (within 2x of the true value). Returns 0
-    /// for an empty histogram.
+    /// Bucket counts with trailing empty buckets trimmed — `result[i]`
+    /// counts observations in `[2^(i-1), 2^i)` (`[0, 1)` for `i = 0`).
+    /// This is what the JSON reports embed.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let trimmed = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        counts[..trimmed].to_vec()
+    }
+
+    /// The `q`-quantile, reported as the upper edge of the containing
+    /// bucket (within 2x of the true value). Returns 0 for an empty
+    /// histogram.
     pub fn quantile(&self, q: f64) -> f64 {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
@@ -70,8 +86,11 @@ pub struct StatsRecorder {
     queries: AtomicU64,
     folded_queries: AtomicU64,
     items_examined: AtomicU64,
+    blocks_skipped: AtomicU64,
     total_nanos: AtomicU64,
-    latency: LatencyHistogram,
+    latency: Log2Histogram,
+    items_hist: Log2Histogram,
+    blocks_hist: Log2Histogram,
 }
 
 impl StatsRecorder {
@@ -81,14 +100,17 @@ impl StatsRecorder {
     }
 
     /// Records one answered query.
-    pub fn record(&self, items_examined: usize, folded: bool, nanos: u64) {
+    pub fn record(&self, items_examined: usize, blocks_skipped: usize, folded: bool, nanos: u64) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         if folded {
             self.folded_queries.fetch_add(1, Ordering::Relaxed);
         }
         self.items_examined.fetch_add(items_examined as u64, Ordering::Relaxed);
+        self.blocks_skipped.fetch_add(blocks_skipped as u64, Ordering::Relaxed);
         self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.latency.record(nanos);
+        self.items_hist.record(items_examined as u64);
+        self.blocks_hist.record(blocks_skipped as u64);
     }
 
     /// Queries recorded so far.
@@ -97,8 +119,18 @@ impl StatsRecorder {
     }
 
     /// The latency histogram.
-    pub fn latency(&self) -> &LatencyHistogram {
+    pub fn latency(&self) -> &Log2Histogram {
         &self.latency
+    }
+
+    /// Per-query items-examined histogram.
+    pub fn items_examined_histogram(&self) -> &Log2Histogram {
+        &self.items_hist
+    }
+
+    /// Per-query blocks-skipped histogram.
+    pub fn blocks_skipped_histogram(&self) -> &Log2Histogram {
+        &self.blocks_hist
     }
 
     /// Folds the counters (plus the cache's hit/miss counts, which live
@@ -106,6 +138,7 @@ impl StatsRecorder {
     pub fn report(&self, cache_hits: u64, cache_misses: u64) -> ServingStats {
         let queries = self.queries();
         let items = self.items_examined.load(Ordering::Relaxed);
+        let blocks = self.blocks_skipped.load(Ordering::Relaxed);
         let nanos = self.total_nanos.load(Ordering::Relaxed);
         let lookups = cache_hits + cache_misses;
         ServingStats {
@@ -116,6 +149,10 @@ impl StatsRecorder {
             folded_queries: self.folded_queries.load(Ordering::Relaxed),
             items_examined: items,
             mean_items_examined: if queries == 0 { 0.0 } else { items as f64 / queries as f64 },
+            blocks_skipped: blocks,
+            mean_blocks_skipped: if queries == 0 { 0.0 } else { blocks as f64 / queries as f64 },
+            items_examined_log2: self.items_hist.snapshot(),
+            blocks_skipped_log2: self.blocks_hist.snapshot(),
             latency_p50_us: self.latency.quantile(0.50) / 1_000.0,
             latency_p90_us: self.latency.quantile(0.90) / 1_000.0,
             latency_p99_us: self.latency.quantile(0.99) / 1_000.0,
@@ -149,6 +186,17 @@ pub struct ServingStats {
     pub items_examined: u64,
     /// `items_examined / queries`.
     pub mean_items_examined: f64,
+    /// Total blocks the block-max kernel pruned without scoring.
+    pub blocks_skipped: u64,
+    /// `blocks_skipped / queries`.
+    pub mean_blocks_skipped: f64,
+    /// Log2-bucket histogram of per-query items examined; entry `i`
+    /// counts queries examining `[2^(i-1), 2^i)` items (trailing empty
+    /// buckets trimmed).
+    pub items_examined_log2: Vec<u64>,
+    /// Log2-bucket histogram of per-query blocks skipped (same bucket
+    /// convention).
+    pub blocks_skipped_log2: Vec<u64>,
     /// Median latency, microseconds (log2-bucket upper edge).
     pub latency_p50_us: f64,
     /// 90th-percentile latency, microseconds.
@@ -167,7 +215,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_by_log2() {
-        let h = LatencyHistogram::new();
+        let h = Log2Histogram::new();
         h.record(0);
         h.record(1);
         h.record(1023);
@@ -180,7 +228,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_monotone_and_within_2x() {
-        let h = LatencyHistogram::new();
+        let h = Log2Histogram::new();
         for nanos in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800] {
             h.record(nanos);
         }
@@ -192,21 +240,38 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
+        let h = Log2Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.99), 0.0);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_trims_trailing_buckets() {
+        let h = Log2Histogram::new();
+        h.record(0); // bucket 0
+        h.record(5); // [4, 8) -> bucket 3
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 4, "trimmed after the last non-empty bucket");
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[3], 1);
+        assert_eq!(snap.iter().sum::<u64>(), h.count());
     }
 
     #[test]
     fn recorder_aggregates() {
         let r = StatsRecorder::new();
-        r.record(100, false, 1_000);
-        r.record(50, true, 3_000);
+        r.record(100, 12, false, 1_000);
+        r.record(50, 0, true, 3_000);
         let stats = r.report(3, 1);
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.folded_queries, 1);
         assert_eq!(stats.items_examined, 150);
         assert!((stats.mean_items_examined - 75.0).abs() < 1e-12);
+        assert_eq!(stats.blocks_skipped, 12);
+        assert!((stats.mean_blocks_skipped - 6.0).abs() < 1e-12);
+        assert_eq!(stats.items_examined_log2.iter().sum::<u64>(), 2);
+        assert_eq!(stats.blocks_skipped_log2.iter().sum::<u64>(), 2);
         assert!((stats.cache_hit_rate - 0.75).abs() < 1e-12);
         assert!((stats.mean_latency_us - 2.0).abs() < 1e-12);
         assert!((stats.total_query_time_s - 4e-6).abs() < 1e-18);
@@ -219,23 +284,27 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..1000 {
-                        r.record(10, false, 500);
+                        r.record(10, 3, false, 500);
                     }
                 });
             }
         });
         assert_eq!(r.queries(), 4000);
         assert_eq!(r.latency().count(), 4000);
+        assert_eq!(r.items_examined_histogram().count(), 4000);
+        assert_eq!(r.blocks_skipped_histogram().count(), 4000);
     }
 
     #[test]
     fn stats_serialize_to_json_object() {
         let r = StatsRecorder::new();
-        r.record(10, false, 1_000);
+        r.record(10, 2, false, 1_000);
         let stats = r.report(1, 1);
         let value = serde::Serialize::to_value(&stats);
         let obj = value.as_object().expect("object");
         assert!(obj.iter().any(|(k, _)| k == "cache_hit_rate"));
         assert!(obj.iter().any(|(k, _)| k == "latency_p99_us"));
+        assert!(obj.iter().any(|(k, _)| k == "mean_blocks_skipped"));
+        assert!(obj.iter().any(|(k, _)| k == "items_examined_log2"));
     }
 }

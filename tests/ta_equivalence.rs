@@ -1,10 +1,35 @@
-//! The Threshold Algorithm must return exactly the brute-force top-k
-//! (same scores; items interchangeable only under ties) for every
-//! query, every k, and both TCAM variants — the correctness claim
-//! behind the paper's Section 4.2 efficiency numbers.
+//! The pruned query kernels (classic Threshold Algorithm and block-max)
+//! must return *exactly* the brute-force top-k — same item ids at every
+//! rank (ties are deterministic: ascending id) and same scores to
+//! 1e-10 — for every query, every k, and both TCAM variants. This is
+//! the correctness claim behind the paper's Section 4.2 efficiency
+//! numbers.
 
 use tcam::prelude::*;
 use tcam::rec::brute_force_top_k;
+use tcam::rec::ta::QueryScratch;
+
+fn assert_exact_match(
+    kernel: &[tcam::math::topk::Scored],
+    bf: &[tcam::math::topk::Scored],
+    label: &str,
+    detail: &str,
+) {
+    assert_eq!(kernel.len(), bf.len(), "{label}: result size ({detail})");
+    for (i, (a, b)) in kernel.iter().zip(bf.iter()).enumerate() {
+        assert_eq!(
+            a.index, b.index,
+            "{label}: rank {i} item {} vs {} ({detail})",
+            a.index, b.index
+        );
+        assert!(
+            (a.score - b.score).abs() < 1e-10,
+            "{label}: rank {i} score {} vs {} ({detail})",
+            a.score,
+            b.score
+        );
+    }
+}
 
 fn check_equivalence<S>(model: &S, num_users: usize, num_times: usize, label: &str)
 where
@@ -12,24 +37,20 @@ where
 {
     let index = TaIndex::build(model);
     let mut buffer = vec![0.0; model.num_items()];
+    let mut scratch = QueryScratch::new();
     let mut total_examined = 0usize;
     let mut queries = 0usize;
     for u in (0..num_users).step_by(7) {
         for t in (0..num_times).step_by(3) {
             let (user, time) = (UserId::from(u), TimeId::from(t));
             for k in [1usize, 3, 5, 10, 50] {
-                let ta = index.top_k(model, user, time, k);
+                let detail = format!("u{u}, t{t}, k{k}");
                 let bf = brute_force_top_k(model, user, time, k, &mut buffer);
-                assert_eq!(ta.items.len(), bf.len(), "{label}: result size");
-                for (i, (a, b)) in ta.items.iter().zip(bf.iter()).enumerate() {
-                    assert!(
-                        (a.score - b.score).abs() < 1e-10,
-                        "{label}: rank {i} score {} vs {} (u{u}, t{t}, k{k})",
-                        a.score,
-                        b.score
-                    );
-                }
-                total_examined += ta.items_examined;
+                let blockmax = index.top_k_with(model, user, time, k, &mut scratch);
+                assert_exact_match(&blockmax.items, &bf, label, &detail);
+                let classic = index.top_k_classic_with(model, user, time, k, &mut scratch);
+                assert_exact_match(&classic.items, &bf, label, &detail);
+                total_examined += blockmax.items_examined;
                 queries += 1;
             }
         }
@@ -91,8 +112,9 @@ fn ta_equals_brute_force_on_weighted_model() {
 
 #[test]
 fn ta_saves_work_on_larger_catalog() {
-    // The efficiency claim in miniature: on a douban-like catalog, TA
-    // must examine well under the full catalog on average for small k.
+    // The efficiency claim in miniature: on a douban-like catalog, the
+    // block-max kernel must examine well under the full catalog on
+    // average for small k, and actually skip blocks while doing it.
     let data = SynthDataset::generate(tcam::data::synth::douban_like(0.2, 7)).expect("gen");
     let config = FitConfig::default()
         .with_user_topics(10)
@@ -101,30 +123,35 @@ fn ta_saves_work_on_larger_catalog() {
         .with_threads(2)
         .with_seed(7);
     let model = TtcamModel::fit(&data.cuboid, &config).expect("fit").model;
-    let index = TaIndex::build(&model);
+    let index = TaIndex::build_with_threads(&model, 2);
+    let mut scratch = QueryScratch::new();
     let mut total = 0usize;
+    let mut skipped = 0usize;
     let n = 50;
     for i in 0..n {
         let user = UserId::from((i * 13) % data.cuboid.num_users());
         let time = TimeId::from(i % data.cuboid.num_times());
-        total += index.top_k(&model, user, time, 10).items_examined;
+        let result = index.top_k_with(&model, user, time, 10, &mut scratch);
+        total += result.items_examined;
+        skipped += result.blocks_skipped;
     }
     let avg = total as f64 / n as f64;
     let catalog = model.num_items() as f64;
-    eprintln!("avg examined: {avg:.0} of {catalog:.0}");
+    eprintln!("avg examined: {avg:.0} of {catalog:.0}; blocks skipped: {skipped}");
     assert!(
         avg < 0.5 * catalog,
-        "TA should examine < 50% of the catalog on average, got {avg:.0}/{catalog:.0}"
+        "block-max should examine < 50% of the catalog on average, got {avg:.0}/{catalog:.0}"
     );
+    assert!(skipped > 0, "block-max should skip blocks at k=10 on {catalog:.0} items");
 }
 
 // ---------------------------------------------------------------------
-// Property: TA ≡ brute force under the transforms the fixed-seed tests
-// above do not randomize together — item weighting (the W-ITCAM /
-// W-TTCAM training transform of Section 3.3) combined with a nonzero
-// background weight lambda_B, which adds a dense factor to every
-// query's expansion (Eq. 21) and is exactly the kind of change that
-// could silently break the Eq. 23 threshold bound.
+// Property: the kernels ≡ brute force under the transforms the
+// fixed-seed tests above do not randomize together — item weighting
+// (the W-ITCAM / W-TTCAM training transform of Section 3.3) combined
+// with a nonzero background weight lambda_B, which adds a dense factor
+// to every query's expansion (Eq. 21) and is exactly the kind of change
+// that could silently break the Eq. 23 threshold bound.
 // ---------------------------------------------------------------------
 
 use proptest::prelude::*;
@@ -158,26 +185,37 @@ proptest! {
         let tt_index = TaIndex::build(&wttcam);
         let it_index = TaIndex::build(&witcam);
         let mut buffer = vec![0.0; weighted.num_items()];
+        let mut scratch = QueryScratch::new();
         for u in (0..weighted.num_users()).step_by(5) {
             for t in 0..weighted.num_times() {
                 let (user, time) = (UserId::from(u), TimeId::from(t));
-                let ta = tt_index.top_k(&wttcam, user, time, k);
                 let bf = brute_force_top_k(&wttcam, user, time, k, &mut buffer);
-                prop_assert_eq!(ta.items.len(), bf.len());
-                for (a, b) in ta.items.iter().zip(bf.iter()) {
-                    prop_assert!(
-                        (a.score - b.score).abs() < 1e-10,
-                        "W-TTCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
-                    );
+                for result in [
+                    tt_index.top_k_with(&wttcam, user, time, k, &mut scratch),
+                    tt_index.top_k_classic_with(&wttcam, user, time, k, &mut scratch),
+                ] {
+                    prop_assert_eq!(result.items.len(), bf.len());
+                    for (a, b) in result.items.iter().zip(bf.iter()) {
+                        prop_assert_eq!(a.index, b.index);
+                        prop_assert!(
+                            (a.score - b.score).abs() < 1e-10,
+                            "W-TTCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
+                        );
+                    }
                 }
-                let ta = it_index.top_k(&witcam, user, time, k);
                 let bf = brute_force_top_k(&witcam, user, time, k, &mut buffer);
-                prop_assert_eq!(ta.items.len(), bf.len());
-                for (a, b) in ta.items.iter().zip(bf.iter()) {
-                    prop_assert!(
-                        (a.score - b.score).abs() < 1e-10,
-                        "W-ITCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
-                    );
+                for result in [
+                    it_index.top_k_with(&witcam, user, time, k, &mut scratch),
+                    it_index.top_k_classic_with(&witcam, user, time, k, &mut scratch),
+                ] {
+                    prop_assert_eq!(result.items.len(), bf.len());
+                    for (a, b) in result.items.iter().zip(bf.iter()) {
+                        prop_assert_eq!(a.index, b.index);
+                        prop_assert!(
+                            (a.score - b.score).abs() < 1e-10,
+                            "W-ITCAM (lambda_B={}): {} vs {}", lambda_b, a.score, b.score
+                        );
+                    }
                 }
             }
         }
