@@ -1,0 +1,201 @@
+//! Committed ingest-throughput benchmark: cost of the online path —
+//! per-rating validated append into `IngestLog` (incremental cuboid +
+//! weighting counter maintenance) and full refresh latency
+//! (materialize → warm-start EM → TA index rebuild → snapshot swap) —
+//! at several stream sizes.
+//!
+//! The append loop re-ingests the same stream `reps` times into fresh
+//! logs and keeps the median and min ratings/sec (shared-core
+//! containers jitter by tens of percent). Refresh latency is measured
+//! end to end through `OnlineEngine::refresh`, which is exactly what a
+//! policy firing pays.
+//!
+//! Writes `BENCH_ingest.json` (override with `out=...`); stdout carries
+//! the same JSON.
+//!
+//! Usage: `cargo run --release -p tcam-bench --bin ingest_throughput
+//!         [scale=0.3 seed=1 iters=4 reps=5 sizes=2000,8000,20000
+//!          out=BENCH_ingest.json]`
+
+use serde::Serialize;
+use std::time::Instant;
+use tcam_bench::Args;
+use tcam_core::FitConfig;
+use tcam_data::{synth, Rating, SynthDataset};
+use tcam_online::{IngestLog, OnlineConfig, OnlineEngine, RefreshPolicy};
+
+#[derive(Debug, Serialize)]
+struct DatasetInfo {
+    generator: String,
+    users: usize,
+    items: usize,
+    times: usize,
+    stream_ratings: usize,
+    user_topics: usize,
+    time_topics: usize,
+    refresh_em_iterations: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestRun {
+    /// Ratings appended into a fresh log in this run.
+    stream_size: usize,
+    /// Validated appends per second (median across repetitions).
+    ratings_per_sec_median: f64,
+    /// Best repetition.
+    ratings_per_sec_max: f64,
+    /// Per-rating cost implied by the median throughput.
+    ns_per_rating_median: f64,
+    /// Full refresh at this prefix: materialize + weighting + warm EM +
+    /// TA index rebuild + snapshot swap (median across repetitions).
+    refresh_ms_median: f64,
+    refresh_ms_min: f64,
+    /// Nonzero cells in the cuboid the refresh trained on.
+    nnz: usize,
+    /// Intervals covered at this prefix.
+    num_times: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestReport {
+    benchmark: String,
+    /// Cores visible to the process (refresh uses them for EM and the
+    /// index build; the append loop is serial by design).
+    available_cores: usize,
+    repetitions: usize,
+    dataset: DatasetInfo,
+    runs: Vec<IngestRun>,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    s[s.len() / 2]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 0.3);
+    let seed = args.get_u64("seed", 1);
+    let iters = args.get_usize("iters", 4);
+    let reps = args.get_usize("reps", 5);
+    let out = args.get_str("out", "BENCH_ingest.json");
+    let sizes: Vec<usize> = args
+        .get_str("sizes", "2000,8000,20000")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+
+    eprintln!("==== ingest_throughput: online append + refresh cost ====");
+    let data = SynthDataset::generate(synth::digg_like(scale, seed)).expect("generation");
+    let c = &data.cuboid;
+    // Time-monotone stream, the shape a real feed arrives in.
+    let mut stream: Vec<Rating> = c.entries().to_vec();
+    stream.sort_by_key(|r| (r.time, r.user, r.item));
+    let max_times = c.num_times() + 1;
+    eprintln!(
+        "digg_like(scale={scale}, seed={seed}): {} users, {} items, {} times, {} ratings",
+        c.num_users(),
+        c.num_items(),
+        c.num_times(),
+        stream.len()
+    );
+
+    let threads = tcam_bench::suite::available_threads();
+    let fit_cfg = FitConfig::default()
+        .with_user_topics(12)
+        .with_time_topics(10)
+        .with_iterations(iters)
+        .with_threads(threads)
+        .with_seed(seed);
+
+    let mut runs = Vec::new();
+    for &size in &sizes {
+        let size = size.min(stream.len());
+        let prefix = &stream[..size];
+
+        // Append throughput: fresh log per repetition, plus one warm-up.
+        let mut throughputs = Vec::with_capacity(reps);
+        for rep in 0..=reps {
+            let mut log = IngestLog::new(c.num_users(), c.num_items(), max_times);
+            let start = Instant::now();
+            for &r in prefix {
+                log.append(r).expect("stream ratings are valid");
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(log.len(), size);
+            if rep > 0 {
+                throughputs.push(size as f64 / secs);
+            }
+            std::hint::black_box(&log);
+        }
+        let rps_median = median(&throughputs);
+        let rps_max = throughputs.iter().cloned().fold(0.0, f64::max);
+
+        // Refresh latency at this prefix: bootstrap once (so a warm
+        // prior exists), then time repeated manual refreshes.
+        let config = OnlineConfig {
+            fit: fit_cfg.clone(),
+            weighting: None,
+            policy: RefreshPolicy::manual(),
+            serve: Default::default(),
+        };
+        let mut eng = OnlineEngine::bootstrap(
+            c.num_users(),
+            c.num_items(),
+            max_times,
+            prefix.to_vec(),
+            config,
+        )
+        .expect("bootstrap fit");
+        let mut refresh_ms = Vec::with_capacity(reps);
+        let mut report = eng.refresh().expect("warm-up refresh");
+        for _ in 0..reps {
+            let start = Instant::now();
+            report = eng.refresh().expect("refresh");
+            refresh_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let refresh_median = median(&refresh_ms);
+        let refresh_min = refresh_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        eprintln!(
+            "size={size:6}  append={rps_median:10.0} ratings/s ({:.0}ns/rating)  \
+             refresh={refresh_median:8.2}ms (min {refresh_min:.2}ms, nnz {})",
+            1e9 / rps_median,
+            report.nnz,
+        );
+        runs.push(IngestRun {
+            stream_size: size,
+            ratings_per_sec_median: rps_median,
+            ratings_per_sec_max: rps_max,
+            ns_per_rating_median: 1e9 / rps_median,
+            refresh_ms_median: refresh_median,
+            refresh_ms_min: refresh_min,
+            nnz: report.nnz,
+            num_times: report.num_times,
+        });
+    }
+
+    let report = IngestReport {
+        benchmark: "ingest_throughput".to_string(),
+        available_cores: threads,
+        repetitions: reps,
+        dataset: DatasetInfo {
+            generator: format!("synth::digg_like(scale={scale}, seed={seed})"),
+            users: c.num_users(),
+            items: c.num_items(),
+            times: c.num_times(),
+            stream_ratings: stream.len(),
+            user_topics: 12,
+            time_topics: 10,
+            refresh_em_iterations: iters,
+        },
+        runs,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

@@ -83,6 +83,22 @@ impl MergeStats for EmScratch {
     }
 }
 
+/// User- and corpus-side parameters entering the first EM iteration.
+/// Built either randomly ([`TtcamModel::fit`]) or from a prior model's
+/// rows ([`TtcamModel::fit_warm`]); the EM loop itself is shared.
+struct InitParams {
+    /// `N x K1`.
+    theta: Matrix,
+    /// `V x K1` (item-major, column-stochastic).
+    phi_item: Matrix,
+    /// `T x K2`.
+    theta_t: Matrix,
+    /// `V x K2` (item-major, column-stochastic).
+    phi_t_item: Matrix,
+    /// Per-user mixing weights.
+    lambda: Vec<f64>,
+}
+
 impl TtcamModel {
     /// Fits TTCAM to a rating cuboid with EM.
     ///
@@ -107,11 +123,114 @@ impl TtcamModel {
         let mut rng = Pcg64::new(config.seed);
         let mut theta = Matrix::zeros(n, k1);
         em::random_rows(&mut theta, &mut rng);
-        let mut phi_item = em::init_item_major(v_dim, k1, &mut rng);
+        let phi_item = em::init_item_major(v_dim, k1, &mut rng);
         let mut theta_t = Matrix::zeros(t_dim, k2);
         em::random_rows(&mut theta_t, &mut rng);
-        let mut phi_t_item = em::init_item_major(v_dim, k2, &mut rng);
+        let phi_t_item = em::init_item_major(v_dim, k2, &mut rng);
+        let lambda = vec![config.initial_lambda; n];
+        Self::fit_with_init(
+            cuboid,
+            config,
+            InitParams { theta, phi_item, theta_t, phi_t_item, lambda },
+        )
+    }
+
+    /// Fits TTCAM with EM **warm-started from a prior model's rows** —
+    /// the continuous-refresh path of online ingestion (DESIGN.md §13):
+    /// instead of re-randomizing, EM resumes from where the last fit
+    /// converged, so a refresh over a slightly grown cuboid needs only a
+    /// few iterations.
+    ///
+    /// The cuboid may have grown along the user and time dimensions
+    /// since `prior` was fitted; new rows start from the neutral
+    /// initialization (uniform `theta_u` / `theta'_t`, `lambda =
+    /// config.initial_lambda`). The item catalog and both topic counts
+    /// must match `prior`, or a typed error is returned.
+    ///
+    /// Warm-starting consumes no randomness: the result is a pure
+    /// function of `(cuboid, config, prior)`, and — like [`Self::fit`] —
+    /// bitwise identical for every `config.num_threads`.
+    pub fn fit_warm(
+        cuboid: &RatingCuboid,
+        config: &FitConfig,
+        prior: &TtcamModel,
+    ) -> Result<FitResult<Self>> {
+        config.validate()?;
+        if cuboid.nnz() == 0 {
+            return Err(ModelError::BadData("cuboid has no ratings"));
+        }
+        if cuboid.num_items() != prior.num_items() {
+            return Err(ModelError::BadData("warm start requires the prior model's item catalog"));
+        }
+        if config.num_user_topics != prior.num_user_topics() {
+            return Err(ModelError::InvalidConfig {
+                field: "num_user_topics",
+                reason: "must match the prior model for a warm start",
+            });
+        }
+        if config.num_time_topics != prior.num_time_topics() {
+            return Err(ModelError::InvalidConfig {
+                field: "num_time_topics",
+                reason: "must match the prior model for a warm start",
+            });
+        }
+        if cuboid.num_users() < prior.num_users() || cuboid.num_times() < prior.num_times() {
+            return Err(ModelError::BadData("warm-start cuboid dimensions may only grow"));
+        }
+        let n = cuboid.num_users();
+        let t_dim = cuboid.num_times();
+        let k1 = config.num_user_topics;
+        let k2 = config.num_time_topics;
+
+        let mut theta = Matrix::zeros(n, k1);
+        for u in 0..n {
+            let row = theta.row_mut(u);
+            if u < prior.num_users() {
+                row.copy_from_slice(prior.user_interest(UserId::from(u)));
+            } else {
+                row.fill(1.0 / k1 as f64);
+            }
+        }
+        let mut theta_t = Matrix::zeros(t_dim, k2);
+        for t in 0..t_dim {
+            let row = theta_t.row_mut(t);
+            if t < prior.num_times() {
+                row.copy_from_slice(prior.temporal_context(TimeId::from(t)));
+            } else {
+                // Interval the prior never saw (rollover since the last
+                // refresh): start neutral; EM reassigns it from data.
+                row.fill(1.0 / k2 as f64);
+            }
+        }
         let mut lambda = vec![config.initial_lambda; n];
+        lambda[..prior.num_users()].copy_from_slice(prior.lambdas());
+        let init = InitParams {
+            theta,
+            phi_item: prior.phi.transpose(),
+            theta_t,
+            phi_t_item: prior.phi_t.transpose(),
+            lambda,
+        };
+        Self::fit_with_init(cuboid, config, init)
+    }
+
+    /// The shared EM loop: runs Eqs. 4–16 from `init` to convergence.
+    fn fit_with_init(
+        cuboid: &RatingCuboid,
+        config: &FitConfig,
+        init: InitParams,
+    ) -> Result<FitResult<Self>> {
+        let n = cuboid.num_users();
+        let t_dim = cuboid.num_times();
+        let v_dim = cuboid.num_items();
+        let k1 = config.num_user_topics;
+        let k2 = config.num_time_topics;
+
+        let InitParams { mut theta, mut phi_item, mut theta_t, mut phi_t_item, mut lambda } = init;
+        debug_assert_eq!((theta.rows(), theta.cols()), (n, k1));
+        debug_assert_eq!((theta_t.rows(), theta_t.cols()), (t_dim, k2));
+        debug_assert_eq!((phi_item.rows(), phi_item.cols()), (v_dim, k1));
+        debug_assert_eq!((phi_t_item.rows(), phi_t_item.cols()), (v_dim, k2));
         let lam_b = config.background_weight;
         let mut background = vec![0.0; v_dim];
         for r in cuboid.entries() {
@@ -649,6 +768,118 @@ mod tests {
                 assert_eq!(a, b, "predictions at {threads} threads for u{u} t{t}");
             }
         }
+    }
+
+    #[test]
+    fn warm_start_fit_is_bitwise_reproducible_across_threads() {
+        // fit_warm rides the same data-dependent shard plan and merge
+        // tree as fit, so seeding EM from a prior model's rows must be
+        // bitwise identical at every thread count — the invariant the
+        // online refresh equivalence harness builds on.
+        let data = synth::SynthDataset::generate(synth::tiny(11)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(4)
+            .with_seed(13);
+        let prior = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let serial = TtcamModel::fit_warm(&data.cuboid, &config, &prior).unwrap();
+        for threads in [2usize, 4] {
+            let par =
+                TtcamModel::fit_warm(&data.cuboid, &config.clone().with_threads(threads), &prior)
+                    .unwrap();
+            assert_eq!(serial.trace, par.trace, "warm trace at {threads} threads");
+            assert_eq!(serial.model.lambdas(), par.model.lambdas());
+            assert_eq!(serial.model.theta.as_slice(), par.model.theta.as_slice());
+            assert_eq!(serial.model.phi.as_slice(), par.model.phi.as_slice());
+            assert_eq!(serial.model.theta_t.as_slice(), par.model.theta_t.as_slice());
+            assert_eq!(serial.model.phi_t.as_slice(), par.model.phi_t.as_slice());
+        }
+        // Warm-starting consumes no RNG: re-running reproduces itself.
+        let again = TtcamModel::fit_warm(&data.cuboid, &config, &prior).unwrap();
+        assert_eq!(serial.trace, again.trace);
+        assert_eq!(serial.model.lambdas(), again.model.lambdas());
+    }
+
+    #[test]
+    fn warm_start_improves_on_prior_likelihood() {
+        let data = synth::SynthDataset::generate(synth::tiny(12)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(6)
+            .with_seed(12);
+        let prior = TtcamModel::fit(&data.cuboid, &config).unwrap();
+        let warm = TtcamModel::fit_warm(&data.cuboid, &config, &prior.model).unwrap();
+        // The warm trace starts where the prior converged to (its first
+        // entry evaluates the prior parameters) and EM never decreases.
+        assert!(warm.trace[0].log_likelihood >= prior.final_log_likelihood() - 1e-8);
+        assert!(warm.final_log_likelihood() >= warm.trace[0].log_likelihood - 1e-8);
+    }
+
+    #[test]
+    fn warm_start_extends_new_users_and_intervals() {
+        // Grow both the user and time dimensions relative to the prior:
+        // new rows start neutral and the fit must stay valid.
+        let data = synth::SynthDataset::generate(synth::tiny(14)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(4)
+            .with_seed(14);
+        let prior = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        let c = &data.cuboid;
+        let grown = RatingCuboid::from_ratings(
+            c.num_users() + 2,
+            c.num_times() + 1,
+            c.num_items(),
+            c.entries()
+                .iter()
+                .copied()
+                .chain(std::iter::once(tcam_data::Rating {
+                    user: UserId::from(c.num_users()),
+                    time: TimeId::from(c.num_times()),
+                    item: tcam_data::ItemId(0),
+                    value: 1.0,
+                }))
+                .collect(),
+        )
+        .unwrap();
+        let warm = TtcamModel::fit_warm(&grown, &config, &prior).unwrap().model;
+        assert_eq!(warm.num_users(), c.num_users() + 2);
+        assert_eq!(warm.num_times(), c.num_times() + 1);
+        for u in 0..warm.num_users() {
+            assert!(vecops::is_distribution(warm.user_interest(UserId::from(u)), 1e-8));
+        }
+        for t in 0..warm.num_times() {
+            assert!(vecops::is_distribution(warm.temporal_context(TimeId::from(t)), 1e-8));
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_shapes() {
+        let data = synth::SynthDataset::generate(synth::tiny(15)).unwrap();
+        let config = FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(2)
+            .with_seed(15);
+        let prior = TtcamModel::fit(&data.cuboid, &config).unwrap().model;
+        // Topic-count mismatches.
+        let bad_k1 = config.clone().with_user_topics(5);
+        assert!(TtcamModel::fit_warm(&data.cuboid, &bad_k1, &prior).is_err());
+        let bad_k2 = config.clone().with_time_topics(4);
+        assert!(TtcamModel::fit_warm(&data.cuboid, &bad_k2, &prior).is_err());
+        // Shrunk user dimension.
+        let c = &data.cuboid;
+        let shrunk = RatingCuboid::from_ratings(
+            1,
+            c.num_times(),
+            c.num_items(),
+            c.entries().iter().copied().filter(|r| r.user.index() < 1).collect(),
+        )
+        .unwrap();
+        assert!(TtcamModel::fit_warm(&shrunk, &config, &prior).is_err());
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub struct Rating {
 }
 
 /// Sparse, immutable rating cuboid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field; because construction is
+/// deterministic (stable duplicate merging, counting-sort index tables)
+/// two cuboids built from the same logical rating stream compare equal
+/// bit for bit — the online ingestion harness relies on this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RatingCuboid {
     num_users: usize,
     num_times: usize,
@@ -81,7 +86,13 @@ impl RatingCuboid {
             }
         }
 
-        ratings.sort_unstable_by_key(|r| (r.user, r.time, r.item));
+        // Stable sort: duplicates of one `(u, t, v)` cell keep their
+        // arrival order, so the merge below sums them left to right in
+        // the order the caller supplied. Incremental builders that add
+        // contributions to a cell as they arrive therefore reproduce
+        // these sums *bitwise* (f64 addition commutes but does not
+        // associate, so the summation order matters).
+        ratings.sort_by_key(|r| (r.user, r.time, r.item));
         // Merge duplicates in place.
         let mut merged: Vec<Rating> = Vec::with_capacity(ratings.len());
         for r in ratings {
@@ -95,7 +106,74 @@ impl RatingCuboid {
         // Drop zero-valued cells; they carry no information and would
         // distort per-user rating counts.
         merged.retain(|r| r.value > 0.0);
+        Ok(Self::index_sorted(num_users, num_times, num_items, merged))
+    }
 
+    /// Builds a cuboid in `O(nnz)` from cells that are already sorted by
+    /// `(user, time, item)`, deduplicated, positive, and in range — the
+    /// contract an incremental ingestion builder maintains. The whole
+    /// contract is verified in one linear pass; any violation is a typed
+    /// error, never a panic.
+    ///
+    /// Equivalence guarantee: if `cells` holds, for every `(u, t, v)`,
+    /// the left-to-right sum of that cell's contributions in arrival
+    /// order, then the result is bitwise identical to
+    /// [`Self::from_ratings`] on the raw stream (which stable-sorts and
+    /// merges in the same order).
+    pub fn from_sorted_ratings(
+        num_users: usize,
+        num_times: usize,
+        num_items: usize,
+        cells: Vec<Rating>,
+    ) -> Result<Self> {
+        let mut prev: Option<(UserId, TimeId, ItemId)> = None;
+        for r in &cells {
+            if r.user.index() >= num_users {
+                return Err(DataError::IdOutOfRange {
+                    kind: "user",
+                    index: r.user.index(),
+                    bound: num_users,
+                });
+            }
+            if r.time.index() >= num_times {
+                return Err(DataError::IdOutOfRange {
+                    kind: "time",
+                    index: r.time.index(),
+                    bound: num_times,
+                });
+            }
+            if r.item.index() >= num_items {
+                return Err(DataError::IdOutOfRange {
+                    kind: "item",
+                    index: r.item.index(),
+                    bound: num_items,
+                });
+            }
+            if !(r.value > 0.0) || !r.value.is_finite() {
+                return Err(DataError::InvalidRating { value: r.value });
+            }
+            let key = (r.user, r.time, r.item);
+            if let Some(p) = prev {
+                if p >= key {
+                    return Err(DataError::InvalidConfig {
+                        field: "cells",
+                        reason: "must be strictly (user, time, item)-sorted with no duplicates",
+                    });
+                }
+            }
+            prev = Some(key);
+        }
+        Ok(Self::index_sorted(num_users, num_times, num_items, cells))
+    }
+
+    /// Builds the offset tables over entries that are `(u, t, v)`-sorted,
+    /// deduplicated, and strictly positive.
+    fn index_sorted(
+        num_users: usize,
+        num_times: usize,
+        num_items: usize,
+        merged: Vec<Rating>,
+    ) -> Self {
         let mut user_offsets = vec![0usize; num_users + 1];
         for r in &merged {
             user_offsets[r.user.index() + 1] += 1;
@@ -121,7 +199,7 @@ impl RatingCuboid {
             cursor[r.time.index()] += 1;
         }
 
-        Ok(RatingCuboid {
+        RatingCuboid {
             num_users,
             num_times,
             num_items,
@@ -129,7 +207,7 @@ impl RatingCuboid {
             user_offsets,
             time_order,
             time_offsets,
-        })
+        }
     }
 
     /// Number of users `N`.
@@ -330,6 +408,56 @@ mod tests {
         let c =
             RatingCuboid::from_ratings(1, 1, 2, vec![r(0, 0, 0, 0.0), r(0, 0, 1, 1.0)]).unwrap();
         assert_eq!(c.nnz(), 1);
+    }
+
+    #[test]
+    fn duplicates_sum_in_arrival_order() {
+        // f64 addition does not associate, so the stable merge must sum
+        // duplicate contributions exactly left to right: the cell value
+        // is ((a + b) + c) for arrival order a, b, c.
+        let (a, b, c) = (0.1, 0.7, 1e-17);
+        let cuboid =
+            RatingCuboid::from_ratings(1, 1, 1, vec![r(0, 0, 0, a), r(0, 0, 0, b), r(0, 0, 0, c)])
+                .unwrap();
+        let expected = (a + b) + c;
+        assert_eq!(cuboid.get(UserId(0), TimeId(0), ItemId(0)).to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn from_sorted_ratings_matches_from_ratings() {
+        let cells = vec![
+            r(0, 0, 1, 1.0),
+            r(0, 1, 2, 2.0),
+            r(1, 0, 1, 1.0),
+            r(1, 0, 3, 1.0),
+            r(2, 1, 0, 3.0),
+        ];
+        let fast = RatingCuboid::from_sorted_ratings(3, 2, 4, cells).unwrap();
+        assert_eq!(fast, sample());
+    }
+
+    #[test]
+    fn from_sorted_ratings_rejects_contract_violations() {
+        // Unsorted.
+        assert!(matches!(
+            RatingCuboid::from_sorted_ratings(2, 1, 2, vec![r(1, 0, 0, 1.0), r(0, 0, 1, 1.0)]),
+            Err(DataError::InvalidConfig { field: "cells", .. })
+        ));
+        // Duplicate cell.
+        assert!(matches!(
+            RatingCuboid::from_sorted_ratings(1, 1, 1, vec![r(0, 0, 0, 1.0), r(0, 0, 0, 2.0)]),
+            Err(DataError::InvalidConfig { field: "cells", .. })
+        ));
+        // Non-positive value (merged cells must already have dropped it).
+        assert!(matches!(
+            RatingCuboid::from_sorted_ratings(1, 1, 1, vec![r(0, 0, 0, 0.0)]),
+            Err(DataError::InvalidRating { .. })
+        ));
+        // Out-of-range id.
+        assert!(matches!(
+            RatingCuboid::from_sorted_ratings(1, 1, 1, vec![r(0, 3, 0, 1.0)]),
+            Err(DataError::IdOutOfRange { kind: "time", .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub enum WeightingScheme {
 }
 
 /// Precomputed weighting statistics for one cuboid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the raw counts; since every derived quantity
+/// (iuf, bursty degree, every [`WeightingScheme`]) is a pure function of
+/// them, equal statistics produce bitwise-equal weights — the invariant
+/// the online incremental maintainer is tested against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ItemWeighting {
     /// `N`: the number of active users (users with >= 1 rating). The
     /// paper says "total number of users in the data set"; we use active
@@ -109,6 +114,30 @@ impl ItemWeighting {
             burst_counts[t] = merged;
         }
 
+        ItemWeighting { n_users, item_users, active_users_per_t, burst_counts }
+    }
+
+    /// Assembles statistics from externally maintained counts — the
+    /// constructor used by incremental maintainers (e.g. online rating
+    /// ingestion) that track the counters per arriving rating instead of
+    /// recomputing over a full cuboid.
+    ///
+    /// Contract (matching what [`Self::compute`] produces): `n_users` is
+    /// the number of users with at least one cell, `item_users[v]` the
+    /// distinct users who rated `v`, `active_users_per_t[t]` the
+    /// distinct users active in `t`, and `burst_counts[t]` the
+    /// `(item, N_t(v))` pairs for every item rated in `t`, sorted by
+    /// item with strictly positive counts.
+    pub fn from_counts(
+        n_users: usize,
+        item_users: Vec<u32>,
+        active_users_per_t: Vec<u32>,
+        burst_counts: Vec<Vec<(u32, u32)>>,
+    ) -> Self {
+        debug_assert_eq!(active_users_per_t.len(), burst_counts.len());
+        debug_assert!(burst_counts
+            .iter()
+            .all(|c| c.windows(2).all(|w| w[0].0 < w[1].0) && c.iter().all(|&(_, n)| n > 0)));
         ItemWeighting { n_users, item_users, active_users_per_t, burst_counts }
     }
 
@@ -328,6 +357,18 @@ mod tests {
         let w = ItemWeighting::compute(&c);
         let profile = w.temporal_profile(ItemId(2));
         assert!(profile.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_counts_round_trips_compute() {
+        let w = ItemWeighting::compute(&fixture());
+        let rebuilt = ItemWeighting::from_counts(
+            w.n_users,
+            w.item_users.clone(),
+            w.active_users_per_t.clone(),
+            w.burst_counts.clone(),
+        );
+        assert_eq!(rebuilt, w);
     }
 
     // --- Regression tests for the Eq. 17/18 division edge cases. ---

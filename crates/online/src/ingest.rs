@@ -1,0 +1,521 @@
+//! Validated append log and incremental cuboid / weighting maintenance.
+//!
+//! Everything here is built around one equivalence contract, enforced by
+//! `tests/online_equivalence.rs`: after any prefix of accepted ratings,
+//!
+//! * [`IngestLog::materialize`] is **bitwise** equal to
+//!   [`RatingCuboid::from_ratings`] on the same prefix, and
+//! * [`IngestLog::weighting`] is equal to [`ItemWeighting::compute`] on
+//!   that materialized cuboid (equal counts, hence bitwise-equal
+//!   weights for every [`tcam_data::WeightingScheme`]).
+//!
+//! The cuboid side holds because both paths sum a cell's contributions
+//! in arrival order: `from_ratings` stable-sorts before merging, and
+//! [`IncrementalCuboid::apply`] adds to the cell as ratings arrive. The
+//! weighting side holds because every counter (`N`, `N(v)`, `N_t`,
+//! `N_t(v)`) counts *positive* cells, cells never shrink (values are
+//! nonnegative), and therefore each counter increments exactly once: at
+//! the rating that first makes its cell positive.
+
+use crate::{OnlineError, Result};
+use std::collections::{BTreeMap, HashSet};
+use tcam_data::{ItemWeighting, Rating, RatingCuboid};
+
+/// A mutable, growable rating cuboid: the streaming counterpart of
+/// [`RatingCuboid`]. Cells are keyed `(user, time, item)` and summed in
+/// arrival order; the time dimension grows as later intervals appear.
+#[derive(Debug, Clone)]
+pub struct IncrementalCuboid {
+    num_users: usize,
+    num_items: usize,
+    num_times: usize,
+    /// `(u, t, v) ->` running cell value, in arrival-order summation.
+    cells: BTreeMap<(u32, u32, u32), f64>,
+}
+
+impl IncrementalCuboid {
+    /// An empty cuboid over `num_users x 0 x num_items`. The time
+    /// dimension grows with the stream.
+    pub fn new(num_users: usize, num_items: usize) -> Self {
+        IncrementalCuboid { num_users, num_items, num_times: 0, cells: BTreeMap::new() }
+    }
+
+    /// Adds one (already validated) rating to its cell, growing the time
+    /// dimension if needed. Returns whether the cell transitioned from
+    /// absent-or-zero to positive — the signal the weighting counters
+    /// increment on. Exactly mirrors the duplicate merge of
+    /// [`RatingCuboid::from_ratings`]: the first contribution is stored
+    /// as-is, later ones are added left to right.
+    pub fn apply(&mut self, r: Rating) -> bool {
+        debug_assert!(r.user.index() < self.num_users);
+        debug_assert!(r.item.index() < self.num_items);
+        debug_assert!(r.value.is_finite() && r.value >= 0.0);
+        self.num_times = self.num_times.max(r.time.index() + 1);
+        match self.cells.entry((r.user.0, r.time.0, r.item.0)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(r.value);
+                r.value > 0.0
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let was_positive = *e.get() > 0.0;
+                *e.get_mut() += r.value;
+                !was_positive && *e.get() > 0.0
+            }
+        }
+    }
+
+    /// Declared user-dimension size.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Declared item-dimension size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Current time-dimension size: one past the latest interval seen.
+    pub fn num_times(&self) -> usize {
+        self.num_times
+    }
+
+    /// Number of cells (including any that are still zero-valued).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Builds the immutable [`RatingCuboid`] for the current state.
+    /// Zero-valued cells are dropped, exactly as `from_ratings` drops
+    /// them after merging.
+    pub fn materialize(&self) -> RatingCuboid {
+        let cells: Vec<Rating> = self
+            .cells
+            .iter()
+            .filter(|&(_, &value)| value > 0.0)
+            .map(|(&(u, t, v), &value)| Rating {
+                user: tcam_data::UserId(u),
+                time: tcam_data::TimeId(t),
+                item: tcam_data::ItemId(v),
+                value,
+            })
+            .collect();
+        // The map key IS (u, t, v) in sorted order and the filter keeps
+        // only positive cells, so the contract holds by construction.
+        RatingCuboid::from_sorted_ratings(self.num_users, self.num_times, self.num_items, cells)
+            .expect("incremental cells satisfy the sorted-cells contract")
+    }
+
+    /// Folds the cell state into a fingerprint (see
+    /// [`IngestLog::fingerprint`]).
+    fn fingerprint_into(&self, h: &mut Fnv) {
+        h.write_usize(self.num_users);
+        h.write_usize(self.num_items);
+        h.write_usize(self.num_times);
+        for (&(u, t, v), &value) in &self.cells {
+            h.write_u32(u);
+            h.write_u32(t);
+            h.write_u32(v);
+            h.write_u64(value.to_bits());
+        }
+    }
+}
+
+/// Streaming maintainer of the Section 3.3 weighting statistics.
+///
+/// Call [`Self::record`] once per cell that turns positive (the signal
+/// [`IncrementalCuboid::apply`] returns); [`Self::snapshot`] then
+/// assembles an [`ItemWeighting`] equal to what
+/// [`ItemWeighting::compute`] would produce on the materialized cuboid.
+#[derive(Debug, Clone)]
+pub struct IncrementalWeighting {
+    /// Users with at least one positive cell (`N` = len).
+    users: HashSet<u32>,
+    /// `(u, v)` pairs with a positive cell in some interval, deduping
+    /// the `N(v)` increments.
+    user_items: HashSet<(u32, u32)>,
+    /// `(u, t)` pairs with a positive cell, deduping `N_t` increments.
+    user_times: HashSet<(u32, u32)>,
+    /// `N(v)`: distinct users who rated item v.
+    item_users: Vec<u32>,
+    /// `N_t`: distinct users active in interval t (grows with time).
+    active_users_per_t: Vec<u32>,
+    /// `(t, v) -> N_t(v)`. Each positive `(u, t, v)` cell is one
+    /// distinct user of `(t, v)`, so this increments per transition
+    /// without any dedup set. Sorted iteration yields the per-interval
+    /// item-sorted pair lists [`ItemWeighting::from_counts`] expects.
+    tv_counts: BTreeMap<(u32, u32), u32>,
+}
+
+impl IncrementalWeighting {
+    /// Empty statistics over an item catalog of size `num_items`.
+    pub fn new(num_items: usize) -> Self {
+        IncrementalWeighting {
+            users: HashSet::new(),
+            user_items: HashSet::new(),
+            user_times: HashSet::new(),
+            item_users: vec![0; num_items],
+            active_users_per_t: Vec::new(),
+            tv_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Records that cell `(user, time, item)` just became positive.
+    pub fn record(&mut self, user: u32, time: u32, item: u32) {
+        self.users.insert(user);
+        if self.user_items.insert((user, item)) {
+            self.item_users[item as usize] += 1;
+        }
+        if self.user_times.insert((user, time)) {
+            let t = time as usize;
+            if t >= self.active_users_per_t.len() {
+                self.active_users_per_t.resize(t + 1, 0);
+            }
+            self.active_users_per_t[t] += 1;
+        }
+        *self.tv_counts.entry((time, item)).or_insert(0) += 1;
+    }
+
+    /// Assembles the statistics for a timeline of `num_times` intervals
+    /// (the maintainer may have seen fewer if trailing intervals hold
+    /// only zero-valued cells).
+    pub fn snapshot(&self, num_times: usize) -> ItemWeighting {
+        let mut active = self.active_users_per_t.clone();
+        active.resize(num_times, 0);
+        let mut burst: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_times];
+        for (&(t, v), &count) in &self.tv_counts {
+            burst[t as usize].push((v, count));
+        }
+        ItemWeighting::from_counts(self.users.len(), self.item_users.clone(), active, burst)
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv) {
+        // Hash only deterministic views (the hash sets are unordered and
+        // fully implied by the counters they gate).
+        h.write_usize(self.users.len());
+        h.write_usize(self.user_items.len());
+        h.write_usize(self.user_times.len());
+        for &n in &self.item_users {
+            h.write_u32(n);
+        }
+        for &n in &self.active_users_per_t {
+            h.write_u32(n);
+        }
+        for (&(t, v), &n) in &self.tv_counts {
+            h.write_u32(t);
+            h.write_u32(v);
+            h.write_u32(n);
+        }
+    }
+}
+
+/// The validated append log: the single entry point ratings stream
+/// through. Every accepted rating is retained in arrival order (the
+/// oracle replays it through the batch constructors) and folded into
+/// the incremental cuboid and weighting state; every rejected rating
+/// returns a typed [`OnlineError`] and provably mutates nothing.
+#[derive(Debug, Clone)]
+pub struct IngestLog {
+    max_times: usize,
+    last_time: Option<u32>,
+    ratings: Vec<Rating>,
+    cuboid: IncrementalCuboid,
+    weighting: IncrementalWeighting,
+    rejected: u64,
+}
+
+impl IngestLog {
+    /// An empty log for a stream over `num_users` users, `num_items`
+    /// items, and at most `max_times` intervals.
+    pub fn new(num_users: usize, num_items: usize, max_times: usize) -> Self {
+        IngestLog {
+            max_times,
+            last_time: None,
+            ratings: Vec::new(),
+            cuboid: IncrementalCuboid::new(num_users, num_items),
+            weighting: IncrementalWeighting::new(num_items),
+            rejected: 0,
+        }
+    }
+
+    /// Validates and appends one rating.
+    ///
+    /// Checks, in order: user id, item id, and time id against the
+    /// declared bounds; the value for NaN / infinity / negativity; and
+    /// global time monotonicity (a rating for an interval earlier than
+    /// the latest seen is a [`OnlineError::TimeRegression`] — closed
+    /// intervals are final). On any failure the log, the incremental
+    /// cuboid, and the weighting counters are untouched (verified by
+    /// fingerprint in `tests/failure_injection.rs`).
+    pub fn append(&mut self, r: Rating) -> Result<()> {
+        let check = self.validate(&r);
+        if let Err(e) = check {
+            self.rejected += 1;
+            return Err(e);
+        }
+        self.last_time = Some(r.time.0);
+        self.ratings.push(r);
+        if self.cuboid.apply(r) {
+            self.weighting.record(r.user.0, r.time.0, r.item.0);
+        }
+        Ok(())
+    }
+
+    fn validate(&self, r: &Rating) -> Result<()> {
+        if r.user.index() >= self.cuboid.num_users {
+            return Err(OnlineError::IdOutOfRange {
+                kind: "user",
+                index: r.user.index(),
+                bound: self.cuboid.num_users,
+            });
+        }
+        if r.item.index() >= self.cuboid.num_items {
+            return Err(OnlineError::IdOutOfRange {
+                kind: "item",
+                index: r.item.index(),
+                bound: self.cuboid.num_items,
+            });
+        }
+        if r.time.index() >= self.max_times {
+            return Err(OnlineError::IdOutOfRange {
+                kind: "time",
+                index: r.time.index(),
+                bound: self.max_times,
+            });
+        }
+        if !r.value.is_finite() || r.value < 0.0 {
+            return Err(OnlineError::InvalidValue { value: r.value });
+        }
+        if let Some(last) = self.last_time {
+            if r.time.0 < last {
+                return Err(OnlineError::TimeRegression {
+                    time: r.time.index(),
+                    last: last as usize,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends every rating, stopping at (and returning) the first
+    /// rejection. Returns how many were accepted.
+    pub fn append_all<I: IntoIterator<Item = Rating>>(&mut self, ratings: I) -> Result<usize> {
+        let mut accepted = 0;
+        for r in ratings {
+            self.append(r)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Declared user-dimension size.
+    pub fn num_users(&self) -> usize {
+        self.cuboid.num_users
+    }
+
+    /// Declared item-catalog size.
+    pub fn num_items(&self) -> usize {
+        self.cuboid.num_items
+    }
+
+    /// Hard cap on interval ids.
+    pub fn max_times(&self) -> usize {
+        self.max_times
+    }
+
+    /// Current timeline length: one past the latest accepted interval.
+    pub fn num_times(&self) -> usize {
+        self.cuboid.num_times
+    }
+
+    /// Latest accepted interval, if any.
+    pub fn last_time(&self) -> Option<u32> {
+        self.last_time
+    }
+
+    /// Accepted ratings in arrival order.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Number of accepted ratings.
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether no rating has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// Number of rejected ratings.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The incremental cuboid state.
+    pub fn cuboid(&self) -> &IncrementalCuboid {
+        &self.cuboid
+    }
+
+    /// Materializes the immutable cuboid for the current prefix
+    /// (bitwise equal to `from_ratings` on [`Self::ratings`]).
+    pub fn materialize(&self) -> RatingCuboid {
+        self.cuboid.materialize()
+    }
+
+    /// Assembles the weighting statistics for the current prefix (equal
+    /// to `ItemWeighting::compute` on the materialized cuboid).
+    pub fn weighting(&self) -> ItemWeighting {
+        self.weighting.snapshot(self.cuboid.num_times)
+    }
+
+    /// A deterministic fingerprint of every piece of state that affects
+    /// downstream results — the accepted log, the cell values (bit
+    /// patterns, not just values), and every weighting counter. Used to
+    /// prove rejected ratings mutate nothing. The rejection counter is
+    /// deliberately excluded: it is observability only and by design
+    /// the one thing a rejection *does* move.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(self.max_times);
+        match self.last_time {
+            None => h.write_u32(u32::MAX),
+            Some(t) => {
+                h.write_u32(1);
+                h.write_u32(t);
+            }
+        }
+        h.write_usize(self.ratings.len());
+        for r in &self.ratings {
+            h.write_u32(r.user.0);
+            h.write_u32(r.time.0);
+            h.write_u32(r.item.0);
+            h.write_u64(r.value.to_bits());
+        }
+        self.cuboid.fingerprint_into(&mut h);
+        self.weighting.fingerprint_into(&mut h);
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator (deterministic across runs, unlike the
+/// std `DefaultHasher` which is randomly keyed per process).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_data::{ItemId, TimeId, UserId};
+
+    fn rating(u: u32, t: u32, v: u32, value: f64) -> Rating {
+        Rating { user: UserId(u), time: TimeId(t), item: ItemId(v), value }
+    }
+
+    #[test]
+    fn apply_reports_positive_transitions_once() {
+        let mut inc = IncrementalCuboid::new(4, 4);
+        assert!(inc.apply(rating(0, 0, 1, 2.0)), "first positive contribution");
+        assert!(!inc.apply(rating(0, 0, 1, 1.0)), "already positive");
+        assert!(!inc.apply(rating(1, 0, 2, 0.0)), "zero cell is not positive");
+        assert!(inc.apply(rating(1, 0, 2, 0.5)), "zero cell turning positive");
+        assert_eq!(inc.num_cells(), 2);
+    }
+
+    #[test]
+    fn materialize_drops_zero_cells_and_grows_time() {
+        let mut inc = IncrementalCuboid::new(3, 3);
+        inc.apply(rating(0, 0, 0, 0.0));
+        inc.apply(rating(2, 4, 1, 1.5));
+        assert_eq!(inc.num_times(), 5);
+        let cuboid = inc.materialize();
+        assert_eq!(cuboid.num_times(), 5);
+        assert_eq!(cuboid.nnz(), 1, "zero cell dropped");
+        assert_eq!(cuboid.get(UserId(2), TimeId(4), ItemId(1)), 1.5);
+    }
+
+    #[test]
+    fn log_validates_in_typed_errors() {
+        let mut log = IngestLog::new(2, 3, 4);
+        assert!(matches!(
+            log.append(rating(2, 0, 0, 1.0)),
+            Err(OnlineError::IdOutOfRange { kind: "user", index: 2, bound: 2 })
+        ));
+        assert!(matches!(
+            log.append(rating(0, 0, 3, 1.0)),
+            Err(OnlineError::IdOutOfRange { kind: "item", index: 3, bound: 3 })
+        ));
+        assert!(matches!(
+            log.append(rating(0, 4, 0, 1.0)),
+            Err(OnlineError::IdOutOfRange { kind: "time", index: 4, bound: 4 })
+        ));
+        assert!(matches!(
+            log.append(rating(0, 0, 0, f64::NAN)),
+            Err(OnlineError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            log.append(rating(0, 0, 0, f64::INFINITY)),
+            Err(OnlineError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            log.append(rating(0, 0, 0, -1.0)),
+            Err(OnlineError::InvalidValue { value }) if value == -1.0
+        ));
+        log.append(rating(0, 2, 0, 1.0)).unwrap();
+        assert!(matches!(
+            log.append(rating(1, 1, 0, 1.0)),
+            Err(OnlineError::TimeRegression { time: 1, last: 2 })
+        ));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.rejected(), 7);
+    }
+
+    #[test]
+    fn fingerprint_tracks_accepts_and_ignores_nothing() {
+        let mut log = IngestLog::new(4, 4, 8);
+        let empty = log.fingerprint();
+        log.append(rating(1, 0, 2, 1.0)).unwrap();
+        let one = log.fingerprint();
+        assert_ne!(empty, one);
+        // Same cell again: cells change (value doubles) so the
+        // fingerprint must change even though no counter moves.
+        log.append(rating(1, 0, 2, 1.0)).unwrap();
+        assert_ne!(one, log.fingerprint());
+    }
+
+    #[test]
+    fn weighting_snapshot_matches_batch_compute() {
+        let mut log = IngestLog::new(5, 4, 6);
+        for r in [
+            rating(0, 0, 1, 1.0),
+            rating(1, 0, 1, 2.0),
+            rating(0, 1, 2, 1.0),
+            rating(0, 1, 1, 3.0),
+            rating(4, 3, 0, 1.0),
+            rating(4, 3, 0, 2.0),
+        ] {
+            log.append(r).unwrap();
+        }
+        assert_eq!(log.weighting(), ItemWeighting::compute(&log.materialize()));
+    }
+}

@@ -20,6 +20,11 @@ const NIL: usize = usize::MAX;
 
 struct Slot {
     key: CacheKey,
+    /// Snapshot epoch the value was computed against. A lookup only
+    /// hits when the caller's epoch matches, so an insert racing a
+    /// snapshot swap (computed against the old model, stored after
+    /// `clear`) can never be served against the new one.
+    epoch: u64,
     value: Arc<Vec<Scored>>,
     prev: usize,
     next: usize,
@@ -72,19 +77,26 @@ impl LruShard {
         }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<Scored>>> {
+    fn get(&mut self, key: &CacheKey, epoch: u64) -> Option<Arc<Vec<Scored>>> {
         let &i = self.map.get(key)?;
+        if self.slots[i].epoch != epoch {
+            // Stale entry from a pre-swap epoch: miss. The slot stays
+            // until an insert overwrites it or the LRU evicts it; it
+            // can never be served because epochs only move forward.
+            return None;
+        }
         self.detach(i);
         self.push_front(i);
         Some(Arc::clone(&self.slots[i].value))
     }
 
-    fn insert(&mut self, key: CacheKey, value: Arc<Vec<Scored>>) {
+    fn insert(&mut self, key: CacheKey, epoch: u64, value: Arc<Vec<Scored>>) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
+            self.slots[i].epoch = epoch;
             self.detach(i);
             self.push_front(i);
             return;
@@ -95,10 +107,11 @@ impl LruShard {
             self.detach(victim);
             self.map.remove(&self.slots[victim].key);
             self.slots[victim].key = key;
+            self.slots[victim].epoch = epoch;
             self.slots[victim].value = value;
             victim
         } else {
-            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+            self.slots.push(Slot { key, epoch, value, prev: NIL, next: NIL });
             self.slots.len() - 1
         };
         self.map.insert(key, i);
@@ -147,9 +160,11 @@ impl TopKCache {
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
-    /// Looks up a query result, counting the hit or miss.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Scored>>> {
-        let result = self.shard(key).lock().expect("cache shard poisoned").get(key);
+    /// Looks up a query result computed against snapshot `epoch`,
+    /// counting the hit or miss. Entries tagged with a different epoch
+    /// are treated as misses so a swap can never serve stale results.
+    pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<Arc<Vec<Scored>>> {
+        let result = self.shard(key).lock().expect("cache shard poisoned").get(key, epoch);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -157,9 +172,10 @@ impl TopKCache {
         result
     }
 
-    /// Stores a query result, evicting the shard's LRU entry if full.
-    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Scored>>) {
-        self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
+    /// Stores a query result computed against snapshot `epoch`,
+    /// evicting the shard's LRU entry if full.
+    pub fn insert(&self, key: CacheKey, epoch: u64, value: Arc<Vec<Scored>>) {
+        self.shard(&key).lock().expect("cache shard poisoned").insert(key, epoch, value);
     }
 
     /// Drops every entry (used on snapshot swap); counters are kept.
@@ -233,9 +249,9 @@ mod tests {
     #[test]
     fn get_counts_hits_and_misses() {
         let cache = TopKCache::new(8, 2);
-        assert!(cache.get(&(1, 2, 3)).is_none());
-        cache.insert((1, 2, 3), entry(0.5));
-        let got = cache.get(&(1, 2, 3)).expect("inserted");
+        assert!(cache.get(&(1, 2, 3), 1).is_none());
+        cache.insert((1, 2, 3), 1, entry(0.5));
+        let got = cache.get(&(1, 2, 3), 1).expect("inserted");
         assert_eq!(got[0].score, 0.5);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -246,34 +262,34 @@ mod tests {
     fn evicts_least_recently_used() {
         // One shard so the recency order is fully observable.
         let cache = TopKCache::new(2, 1);
-        cache.insert((0, 0, 0), entry(0.0));
-        cache.insert((1, 0, 0), entry(1.0));
+        cache.insert((0, 0, 0), 1, entry(0.0));
+        cache.insert((1, 0, 0), 1, entry(1.0));
         // Touch key 0 so key 1 becomes the LRU victim.
-        assert!(cache.get(&(0, 0, 0)).is_some());
-        cache.insert((2, 0, 0), entry(2.0));
+        assert!(cache.get(&(0, 0, 0), 1).is_some());
+        cache.insert((2, 0, 0), 1, entry(2.0));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&(1, 0, 0)).is_none(), "LRU entry evicted");
-        assert!(cache.get(&(0, 0, 0)).is_some(), "recently used survives");
-        assert!(cache.get(&(2, 0, 0)).is_some());
+        assert!(cache.get(&(1, 0, 0), 1).is_none(), "LRU entry evicted");
+        assert!(cache.get(&(0, 0, 0), 1).is_some(), "recently used survives");
+        assert!(cache.get(&(2, 0, 0), 1).is_some());
     }
 
     #[test]
     fn reinsert_updates_value_and_recency() {
         let cache = TopKCache::new(2, 1);
-        cache.insert((0, 0, 0), entry(0.0));
-        cache.insert((1, 0, 0), entry(1.0));
-        cache.insert((0, 0, 0), entry(9.0));
+        cache.insert((0, 0, 0), 1, entry(0.0));
+        cache.insert((1, 0, 0), 1, entry(1.0));
+        cache.insert((0, 0, 0), 1, entry(9.0));
         // Key 1 is now the LRU entry.
-        cache.insert((2, 0, 0), entry(2.0));
-        assert!(cache.get(&(1, 0, 0)).is_none());
-        assert_eq!(cache.get(&(0, 0, 0)).expect("kept")[0].score, 9.0);
+        cache.insert((2, 0, 0), 1, entry(2.0));
+        assert!(cache.get(&(1, 0, 0), 1).is_none());
+        assert_eq!(cache.get(&(0, 0, 0), 1).expect("kept")[0].score, 9.0);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = TopKCache::new(0, 4);
-        cache.insert((0, 0, 0), entry(0.0));
-        assert!(cache.get(&(0, 0, 0)).is_none());
+        cache.insert((0, 0, 0), 1, entry(0.0));
+        assert!(cache.get(&(0, 0, 0), 1).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.capacity(), 0);
     }
@@ -282,13 +298,27 @@ mod tests {
     fn clear_empties_but_keeps_counters() {
         let cache = TopKCache::new(8, 4);
         for u in 0..8u32 {
-            cache.insert((u, 0, 0), entry(f64::from(u)));
+            cache.insert((u, 0, 0), 1, entry(f64::from(u)));
         }
-        assert!(cache.get(&(3, 0, 0)).is_some());
+        assert!(cache.get(&(3, 0, 0), 1).is_some());
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 1, "counters survive a snapshot swap");
-        assert!(cache.get(&(3, 0, 0)).is_none());
+        assert!(cache.get(&(3, 0, 0), 1).is_none());
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_never_served() {
+        let cache = TopKCache::new(8, 2);
+        // Simulate the swap race: a result computed against epoch 1 is
+        // inserted after the swap-to-epoch-2 already cleared the cache.
+        cache.insert((7, 3, 5), 1, entry(0.25));
+        assert!(cache.get(&(7, 3, 5), 2).is_none(), "pre-swap entry must miss");
+        assert_eq!(cache.misses(), 1);
+        // A fresh insert at the new epoch overwrites the stale slot.
+        cache.insert((7, 3, 5), 2, entry(0.75));
+        assert_eq!(cache.get(&(7, 3, 5), 2).expect("current epoch")[0].score, 0.75);
+        assert!(cache.get(&(7, 3, 5), 1).is_none(), "old epoch can never hit again");
     }
 
     #[test]
@@ -296,7 +326,7 @@ mod tests {
         let cache = TopKCache::new(64, 8);
         assert_eq!(cache.num_shards(), 8);
         for u in 0..200u32 {
-            cache.insert((u, u % 5, 10), entry(f64::from(u)));
+            cache.insert((u, u % 5, 10), 1, entry(f64::from(u)));
         }
         assert!(cache.len() <= cache.capacity());
         assert!(cache.len() > 8, "entries land in multiple shards");
@@ -311,8 +341,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..500u32 {
                         let key = (i % 50, t, 10);
-                        if cache.get(&key).is_none() {
-                            cache.insert(key, entry(f64::from(i)));
+                        if cache.get(&key, 1).is_none() {
+                            cache.insert(key, 1, entry(f64::from(i)));
                         }
                     }
                 });

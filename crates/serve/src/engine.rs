@@ -245,7 +245,7 @@ impl ServeEngine {
         let time = clamp_time(snap, q.time);
         let key: CacheKey = (q.user.0, time.0, q.k.min(u32::MAX as usize) as u32);
 
-        if let Some(items) = self.cache.get(&key) {
+        if let Some(items) = self.cache.get(&key, snap.epoch()) {
             self.stats.record(0, 0, false, elapsed_nanos(start));
             return Response {
                 items,
@@ -279,7 +279,7 @@ impl ServeEngine {
         };
 
         let items = Arc::new(items);
-        self.cache.insert(key, Arc::clone(&items));
+        self.cache.insert(key, snap.epoch(), Arc::clone(&items));
         self.stats.record(examined, skipped, folded, elapsed_nanos(start));
         Response { items, items_examined: examined, source, epoch: snap.epoch() }
     }

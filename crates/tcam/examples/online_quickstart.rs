@@ -1,0 +1,91 @@
+//! Minimal online-ingestion walkthrough: bootstrap an [`OnlineEngine`]
+//! from a seed stream, ingest live ratings (including a rejected one),
+//! watch the refresh policy fire on a count threshold and on an
+//! interval rollover, and query across epochs.
+//!
+//! Run with `cargo run --release -p tcam --example online_quickstart`.
+
+use tcam::data::synth;
+use tcam::online::RefreshReport;
+use tcam::prelude::*;
+
+fn main() {
+    // A time-monotone stream, as a real feed would deliver it.
+    let data = SynthDataset::generate(synth::tiny(42)).unwrap();
+    let cuboid = &data.cuboid;
+    let mut stream: Vec<Rating> = cuboid.entries().to_vec();
+    stream.sort_by_key(|r| (r.time, r.user, r.item));
+    let (num_users, num_items) = (cuboid.num_users(), cuboid.num_items());
+    let max_times = cuboid.num_times() + 2; // leave room for rollovers
+    let split = stream.len() * 3 / 4;
+
+    let config = OnlineConfig {
+        fit: FitConfig::default()
+            .with_user_topics(4)
+            .with_time_topics(3)
+            .with_iterations(5)
+            .with_seed(42),
+        weighting: None,
+        policy: RefreshPolicy { every_ratings: Some(32), on_rollover: true },
+        serve: ServeConfig::default(),
+    };
+
+    // Bootstrap: seed ratings -> cold fit -> snapshot published as epoch 1.
+    let mut engine =
+        OnlineEngine::bootstrap(num_users, num_items, max_times, stream[..split].to_vec(), config)
+            .unwrap();
+    println!(
+        "bootstrapped epoch {} on {} ratings ({} users x {} items x {} intervals)",
+        engine.epoch(),
+        engine.log().len(),
+        num_users,
+        num_items,
+        engine.log().num_times()
+    );
+
+    // Live ingestion: the policy decides when to refit and hot-swap.
+    let report_line = |what: &str, r: &RefreshReport| {
+        println!(
+            "{what}: epoch {} — {} intervals, {} nnz, ll {:.3} after {} EM iterations",
+            r.epoch, r.num_times, r.nnz, r.log_likelihood, r.em_iterations
+        );
+    };
+    for &r in &stream[split..] {
+        let outcome = engine.ingest(r).unwrap();
+        if let Some(report) = outcome.refreshed {
+            report_line("count refresh", &report);
+        }
+    }
+
+    // A malformed rating is rejected with a typed error; nothing moves.
+    let before = engine.log().fingerprint();
+    let bad = Rating { user: UserId(0), time: TimeId(0), item: ItemId(0), value: f64::NAN };
+    println!("rejected: {}", engine.ingest(bad).unwrap_err());
+    assert_eq!(engine.log().fingerprint(), before, "rejection must not mutate state");
+
+    // A rating in a brand-new interval: queries degrade through the
+    // clamp path until the rollover-triggered refresh lands, which here
+    // is immediate.
+    let t_new = engine.log().num_times() as u32;
+    let fresh = Rating { user: UserId(1), time: TimeId(t_new), item: ItemId(2), value: 1.0 };
+    let outcome = engine.ingest(fresh).unwrap();
+    assert!(outcome.rolled_over);
+    report_line("rollover refresh", &outcome.refreshed.expect("on_rollover policy"));
+
+    // Serve from the freshly swapped snapshot, in the new interval.
+    let q = Query { user: UserId(1), time: TimeId(t_new), k: 5 };
+    let response = engine.query(q);
+    println!("top-{} for user {} at t={} (epoch {}):", q.k, q.user.0, q.time.0, response.epoch);
+    for (rank, scored) in response.items.iter().enumerate() {
+        println!("  #{rank} item {:4}  score {:.6}", scored.index, scored.score);
+    }
+
+    let log = engine.log();
+    println!(
+        "log: {} accepted, {} rejected, {} intervals, serving epoch {}",
+        log.len(),
+        log.rejected(),
+        log.num_times(),
+        engine.epoch()
+    );
+}

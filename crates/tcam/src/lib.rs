@@ -14,7 +14,10 @@
 //! * [`rec`] — temporal top-k recommendation (TA algorithm, metrics,
 //!   evaluation harness),
 //! * [`serve`] — the online serving engine (snapshot swap, sharded LRU
-//!   response cache, batch queries, fold-in backoff, serving stats).
+//!   response cache, batch queries, fold-in backoff, serving stats),
+//! * [`online`] — streaming rating ingestion (validated append log,
+//!   incremental cuboid/weighting maintenance, warm-start refresh with
+//!   snapshot hot-swap, and the batch-equivalence oracle).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use tcam_baselines as baselines;
 pub use tcam_core as core;
 pub use tcam_data as data;
 pub use tcam_math as math;
+pub use tcam_online as online;
 pub use tcam_rec as rec;
 pub use tcam_serve as serve;
 
@@ -61,6 +65,7 @@ pub mod prelude {
         RatingCuboid, Split, SynthConfig, SynthDataset, TimeDiscretizer, TimeId, UserId,
     };
     pub use tcam_math::Pcg64;
+    pub use tcam_online::{IngestLog, OnlineConfig, OnlineEngine, RefreshPolicy};
     pub use tcam_rec::{
         brute_force_top_k, evaluate, EvalConfig, EvalReport, FactoredScorer, TaIndex,
         TemporalScorer,

@@ -169,3 +169,111 @@ fn ta_on_cold_interval() {
     assert_eq!(result.items.len(), 5);
     assert!(result.items.iter().all(|s| s.score.is_finite()));
 }
+
+#[test]
+fn ingest_rejects_every_bad_rating_with_a_typed_error() {
+    use tcam::online::{IngestLog, OnlineError};
+    let mut log = IngestLog::new(8, 8, 8);
+    log.append(Rating { user: UserId(0), time: TimeId(3), item: ItemId(0), value: 1.0 })
+        .expect("valid rating accepted");
+
+    let bad = |u: u32, t: u32, v: u32, value: f64| Rating {
+        user: UserId(u),
+        time: TimeId(t),
+        item: ItemId(v),
+        value,
+    };
+    // (rating, expected-error predicate, label)
+    type Case = (Rating, fn(&OnlineError) -> bool, &'static str);
+    let cases: Vec<Case> = vec![
+        (
+            bad(8, 3, 0, 1.0),
+            |e| matches!(e, OnlineError::IdOutOfRange { kind: "user", index: 8, bound: 8 }),
+            "user out of range",
+        ),
+        (
+            bad(0, 3, 99, 1.0),
+            |e| matches!(e, OnlineError::IdOutOfRange { kind: "item", index: 99, bound: 8 }),
+            "item out of range",
+        ),
+        (
+            bad(0, 8, 0, 1.0),
+            |e| matches!(e, OnlineError::IdOutOfRange { kind: "time", index: 8, bound: 8 }),
+            "time out of range",
+        ),
+        (bad(0, 3, 0, f64::NAN), |e| matches!(e, OnlineError::InvalidValue { .. }), "NaN"),
+        (bad(0, 3, 0, f64::INFINITY), |e| matches!(e, OnlineError::InvalidValue { .. }), "+inf"),
+        (
+            bad(0, 3, 0, f64::NEG_INFINITY),
+            |e| matches!(e, OnlineError::InvalidValue { .. }),
+            "-inf",
+        ),
+        (
+            bad(0, 3, 0, -0.5),
+            |e| matches!(e, OnlineError::InvalidValue { value } if *value == -0.5),
+            "negative",
+        ),
+        (
+            bad(0, 2, 0, 1.0),
+            |e| matches!(e, OnlineError::TimeRegression { time: 2, last: 3 }),
+            "backwards time",
+        ),
+    ];
+    for (r, is_expected, label) in cases {
+        let before = log.fingerprint();
+        let err = log.append(r).expect_err(label);
+        assert!(is_expected(&err), "{label}: got {err:?}");
+        // A typed error, and provably zero mutation: the fingerprint
+        // covers the accepted log, every cuboid cell bit pattern, and
+        // every weighting counter.
+        assert_eq!(log.fingerprint(), before, "{label}: rejected rating mutated state");
+        assert_eq!(log.len(), 1, "{label}: log length moved");
+    }
+    assert_eq!(log.rejected(), 8);
+}
+
+#[test]
+fn rejected_rating_leaves_live_snapshot_untouched() {
+    use std::sync::Arc;
+    use tcam::online::{OnlineConfig, OnlineEngine, RefreshPolicy};
+
+    let data = SynthDataset::generate(tcam::data::synth::tiny(99)).unwrap();
+    let c = &data.cuboid;
+    let mut stream: Vec<Rating> = c.entries().to_vec();
+    stream.sort_by_key(|r| (r.time, r.user, r.item));
+    let config = OnlineConfig {
+        fit: FitConfig::default()
+            .with_user_topics(3)
+            .with_time_topics(2)
+            .with_iterations(2)
+            .with_seed(99),
+        policy: RefreshPolicy { every_ratings: Some(1), on_rollover: true },
+        ..Default::default()
+    };
+    let mut eng =
+        OnlineEngine::bootstrap(c.num_users(), c.num_items(), c.num_times() + 2, stream, config)
+            .unwrap();
+
+    let log_before = eng.log().fingerprint();
+    let snap_before = eng.serve().snapshot();
+    let lambdas_before: Vec<u64> = eng.model().lambdas().iter().map(|l| l.to_bits()).collect();
+
+    // Even with the most trigger-happy policy (refresh on every
+    // rating), a rejected rating must not refresh, swap, or mutate.
+    let err = eng.ingest(Rating {
+        user: UserId(0),
+        time: TimeId(0),
+        item: ItemId(c.num_items() as u32),
+        value: 1.0,
+    });
+    assert!(err.is_err());
+
+    assert_eq!(eng.log().fingerprint(), log_before, "ingest state mutated");
+    assert!(
+        Arc::ptr_eq(&snap_before, &eng.serve().snapshot()),
+        "snapshot swapped on a rejected rating"
+    );
+    assert_eq!(eng.epoch(), 1);
+    let lambdas_after: Vec<u64> = eng.model().lambdas().iter().map(|l| l.to_bits()).collect();
+    assert_eq!(lambdas_before, lambdas_after, "warm-start prior mutated");
+}

@@ -186,3 +186,80 @@ fn snapshot_swap_serves_the_new_model_exactly() {
     let bf = brute_force_top_k(&new_model, q.user, q.time, q.k, &mut buffer);
     assert_exact(&after, &bf, "post-swap");
 }
+
+#[test]
+fn concurrent_readers_never_observe_torn_or_stale_state() {
+    // The refresh-loop race: reader threads hammer the engine while the
+    // writer hot-swaps snapshots repeatedly. Three invariants:
+    //
+    // 1. Every response carries a published epoch.
+    // 2. Every response's ranking matches `brute_force_top_k` against
+    //    the model of the epoch *it claims* — a torn snapshot, or a
+    //    cache entry surviving from a pre-swap epoch (computed against
+    //    an old model but served under a new epoch), breaks this.
+    // 3. After the last swap, fresh queries serve the final epoch.
+    //
+    // Distinct fit seeds make the per-epoch models rank differently, so
+    // a cross-epoch mixup cannot pass by accident.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const EPOCHS: usize = 8;
+    let models: Vec<TtcamModel> = (0..EPOCHS as u64).map(|i| fitted_model(520 + i)).collect();
+    let engine = ServeEngine::new(
+        ModelSnapshot::new(models[0].clone(), 1),
+        // Small cache with real capacity so hits occur during swaps.
+        ServeConfig { cache_capacity: 256, cache_shards: 4, ..ServeConfig::default() },
+    );
+    let num_users = models[0].num_users() as u32;
+    let num_times = models[0].num_times() as u32;
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for reader in 0..3u32 {
+            let (engine, done, models) = (&engine, &done, &models);
+            readers.push(scope.spawn(move || {
+                let mut buffer = vec![0.0; models[0].num_items()];
+                let mut checked = 0u64;
+                let mut i = 0u32;
+                while !done.load(Ordering::Acquire) || i < 64 {
+                    let q = Query {
+                        user: UserId((reader * 7 + i) % num_users),
+                        time: TimeId(i % num_times),
+                        k: 1 + (i as usize % 6),
+                    };
+                    let response = engine.query(q);
+                    let epoch = response.epoch as usize;
+                    assert!((1..=EPOCHS).contains(&epoch), "unpublished epoch {epoch}");
+                    let model = &models[epoch - 1];
+                    let bf = brute_force_top_k(model, q.user, q.time, q.k, &mut buffer);
+                    assert_exact(&response, &bf, "concurrent");
+                    for (a, b) in response.items.iter().zip(bf.iter()) {
+                        assert_eq!(a.index, b.index, "epoch {epoch} item ids must match");
+                    }
+                    checked += 1;
+                    i += 1;
+                }
+                checked
+            }));
+        }
+        // Writer: publish epochs 2..=EPOCHS while the readers run.
+        for (i, model) in models.iter().enumerate().skip(1) {
+            engine.swap_snapshot(ModelSnapshot::new(model.clone(), i as u64 + 1));
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        let total: u64 = readers.into_iter().map(|h| h.join().expect("reader panicked")).sum();
+        assert!(total >= 3 * 64, "each reader validated a full post-swap pass");
+    });
+
+    // Steady state: the final epoch serves, and repeats hit its cache.
+    let q = Query { user: UserId(0), time: TimeId(0), k: 4 };
+    let last = engine.query(q);
+    assert_eq!(last.epoch, EPOCHS as u64);
+    let again = engine.query(q);
+    assert_eq!(again.source, Source::CacheHit);
+    let mut buffer = vec![0.0; models[EPOCHS - 1].num_items()];
+    let bf = brute_force_top_k(&models[EPOCHS - 1], q.user, q.time, q.k, &mut buffer);
+    assert_exact(&again, &bf, "final epoch cache hit");
+}
