@@ -1,0 +1,53 @@
+//! A fixture that exercises every rule's *escape hatch* and must lint
+//! clean: cfg(test) scoping, SAFETY comments, reasoned allows, and a
+//! hot function that only reuses capacity.
+
+/// Indexing annotated with a reasoned allow.
+pub fn allowed_index(xs: &[u32]) -> u32 {
+    // tcam-lint: allow(no-panic) -- caller guarantees xs is non-empty
+    xs[0]
+}
+
+/// A whole function allowed by a reasoned allow-fn.
+// tcam-lint: allow-fn(no-panic) -- indices are validated by the caller
+pub fn allowed_fn(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// An audited unsafe block.
+pub fn audited_unsafe(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+/// A hot function that clears and refills a caller buffer — no
+/// allocation as long as capacity suffices, which is the pattern the
+/// no-alloc rule sanctions.
+// tcam-lint: hot
+pub fn hot_reuse(out: &mut Vec<u32>, n: usize) {
+    out.clear();
+    out.resize(n, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = i as u32;
+    }
+}
+
+/// Raw strings and doc text must not confuse the scanner: none of the
+/// tokens below are real calls.
+pub fn decoys() -> &'static str {
+    let s = r#"HashMap::new() .unwrap() panic!("not real") unsafe { }"#;
+    // A comment mentioning .unwrap() and Instant::now() is also inert.
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    /// Panics are fine in tests; the no-panic rule is scoped out.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Seeded violations — one per rule, at known line numbers. The
+//! analyzer tests assert the exact (rule, line) pairs; renumbering
+//! this file requires updating `tests/analyzer.rs`.
+
+/// no-panic: `.unwrap()` outside `#[cfg(test)]`.
+pub fn planted_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// no-panic: `.expect(…)`.
+pub fn planted_expect(x: Option<u32>) -> u32 {
+    x.expect("planted")
+}
+
+/// no-panic: `panic!` macro.
+pub fn planted_panic() {
+    panic!("planted");
+}
+
+/// no-panic: slice indexing.
+pub fn planted_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+/// unsafe-audit: an `unsafe` block with no `// SAFETY:` comment.
+pub fn planted_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+/// determinism: iteration-order-dependent container.
+pub fn planted_hashmap() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// determinism: wall-clock read.
+pub fn planted_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// no-alloc: allocation inside a hot function.
+// tcam-lint: hot
+pub fn planted_hot_alloc(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i as u32);
+    }
+    out
+}
+
+/// annotation: allow with a missing reason is itself a violation.
+pub fn planted_bad_annotation(x: Option<u32>) -> u32 {
+    // tcam-lint: allow(no-panic)
+    x.unwrap_or(0)
+}

@@ -1,0 +1,87 @@
+//! `CountingAlloc`: the dynamic counterpart of the static `no-alloc`
+//! rule.
+//!
+//! PR 3 proved "repeated queries don't reallocate scratch" with a
+//! capacity/pointer fingerprint — a heuristic that can miss transient
+//! allocations that grow and shrink between fingerprints. Installing
+//! `CountingAlloc` as the test binary's `#[global_allocator]` upgrades
+//! that to a hard guarantee: every heap event in the process is
+//! counted, so a steady-state section can assert its delta is exactly
+//! zero.
+//!
+//! Counters are per-thread (`thread_local!` with `const` init, so
+//! reading them never allocates) — a zero-alloc assertion on one test
+//! thread is immune to allocations made concurrently by other test
+//! threads under `cargo test`'s default parallelism.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! let before = allocation_events();
+//! hot_path();
+//! assert_eq!(allocation_events() - before, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// A [`System`]-forwarding allocator that counts heap events per thread.
+pub struct CountingAlloc;
+
+thread_local! {
+    /// `alloc` + `realloc` calls made by this thread.
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+    /// `dealloc` calls made by this thread.
+    static DEALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `alloc`/`realloc` events on the current thread since it
+/// started. Zero-alloc assertions difference this around the section
+/// under test.
+pub fn allocation_events() -> u64 {
+    ALLOC_EVENTS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Number of `dealloc` events on the current thread since it started.
+pub fn deallocation_events() -> u64 {
+    DEALLOC_EVENTS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn count(cell: &'static std::thread::LocalKey<Cell<u64>>) {
+    // `try_with` instead of `with`: the allocator is called during
+    // thread teardown after TLS destructors have run, where `with`
+    // would abort the process.
+    let _ = cell.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counters never touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the layout contract; forwarded to `System`
+    // unchanged (unsafe-fn bodies are implicitly unsafe in this edition).
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(&ALLOC_EVENTS);
+        System.alloc(layout)
+    }
+
+    // SAFETY: caller upholds the layout contract; forwarded unchanged.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(&ALLOC_EVENTS);
+        System.alloc_zeroed(layout)
+    }
+
+    // SAFETY: caller guarantees `ptr`/`layout` came from this allocator
+    // and `new_size` is valid; forwarded unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(&ALLOC_EVENTS);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    // SAFETY: caller guarantees `ptr` was allocated here with `layout`;
+    // forwarded unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        count(&DEALLOC_EVENTS);
+        System.dealloc(ptr, layout)
+    }
+}

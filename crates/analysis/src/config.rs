@@ -1,0 +1,235 @@
+//! Lint configuration: which files are scanned and which rule applies
+//! where.
+//!
+//! The committed config lives at the workspace root as
+//! `tcam-lint.toml`. Since the container is offline there is no `toml`
+//! crate; this module hand-rolls a parser for the small subset the
+//! config uses — `[section]` headers (dotted allowed), `key = "string"`
+//! and `key = ["array", "of", "strings"]` — the same way the serde shim
+//! hand-rolls JSON.
+//!
+//! Path patterns are matched with a glob dialect of `*` (within one
+//! path segment) and `**` (across segments); paths are always
+//! workspace-root-relative with `/` separators.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::Rule;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Glob patterns selecting files to scan (root-relative).
+    pub include: Vec<String>,
+    /// Glob patterns removing files from the scan set.
+    pub exclude: Vec<String>,
+    /// Per-rule path zones; a rule with no entry applies nowhere
+    /// (except [`Rule::Annotation`], which is always on).
+    pub zones: BTreeMap<Rule, Vec<String>>,
+}
+
+/// A config-file problem, with the 1-based line it occurred on.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Line in the config file.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the `tcam-lint.toml` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming until the closing `]`.
+            while line.contains('[') && !line.contains(']') && !line.trim_start().starts_with('[') {
+                match lines.next() {
+                    Some((_, more)) => {
+                        line.push(' ');
+                        line.push_str(strip_comment(more).trim());
+                    }
+                    None => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: "unclosed `[` array".to_string(),
+                        });
+                    }
+                }
+            }
+            let line = line.as_str();
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim();
+            let values = parse_value(value.trim(), lineno)?;
+            match (section.as_str(), key) {
+                ("scan", "include") => cfg.include = values,
+                ("scan", "exclude") => cfg.exclude = values,
+                (sec, "paths") => {
+                    let rule_name = sec.strip_prefix("rules.").ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!("`paths` outside a [rules.*] section (in [{sec}])"),
+                    })?;
+                    let rule = Rule::from_name(rule_name).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!("unknown rule `{rule_name}`"),
+                    })?;
+                    cfg.zones.insert(rule, values);
+                }
+                (sec, key) => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unrecognized key `{key}` in section [{sec}]"),
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether `path` (root-relative, `/`-separated) is in the scan set.
+    pub fn scans(&self, path: &str) -> bool {
+        self.include.iter().any(|p| glob_match(p, path))
+            && !self.exclude.iter().any(|p| glob_match(p, path))
+    }
+
+    /// Whether `rule` applies to `path`.
+    pub fn rule_applies(&self, rule: Rule, path: &str) -> bool {
+        match self.zones.get(&rule) {
+            Some(zone) => zone.iter().any(|p| glob_match(p, path)),
+            None => rule == Rule::Annotation,
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` never appears inside the string values this config uses.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses `"s"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let err = |message: String| ConfigError { line: lineno, message };
+    if let Some(body) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let body = body.trim().trim_end_matches(',');
+        if body.is_empty() {
+            return Ok(Vec::new());
+        }
+        body.split(',')
+            .map(|item| {
+                unquote(item.trim())
+                    .ok_or_else(|| err(format!("expected quoted string, got `{}`", item.trim())))
+            })
+            .collect()
+    } else {
+        Ok(vec![unquote(value)
+            .ok_or_else(|| err(format!("expected string or array, got `{value}`")))?])
+    }
+}
+
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(str::to_string)
+}
+
+/// Matches `path` against `pattern`; `*` spans within a segment, `**`
+/// spans whole segments (including none).
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => (0..=segs.len()).any(|skip| match_segments(&pat[1..], &segs[skip..])),
+        Some(p) => match segs.first() {
+            Some(s) if match_one(p.as_bytes(), s.as_bytes()) => {
+                match_segments(&pat[1..], &segs[1..])
+            }
+            _ => false,
+        },
+    }
+}
+
+/// `*`-wildcard match within one path segment.
+fn match_one(pat: &[u8], seg: &[u8]) -> bool {
+    match pat.first() {
+        None => seg.is_empty(),
+        Some(b'*') => (0..=seg.len()).any(|skip| match_one(&pat[1..], &seg[skip..])),
+        Some(&c) => seg.first() == Some(&c) && match_one(&pat[1..], &seg[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("crates/*/src/**/*.rs", "crates/core/src/em.rs"));
+        assert!(glob_match("crates/*/src/**/*.rs", "crates/core/src/deep/nested.rs"));
+        assert!(!glob_match("crates/*/src/**/*.rs", "crates/core/tests/em.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("crates/core/src/em.rs", "crates/core/src/em.rs"));
+        assert!(!glob_match("crates/core/src/em.rs", "crates/core/src/ttcam.rs"));
+        assert!(glob_match("tests/*.rs", "tests/serving.rs"));
+        assert!(!glob_match("tests/*.rs", "tests/sub/serving.rs"));
+    }
+
+    #[test]
+    fn parses_the_subset() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scan]
+include = ["crates/*/src/**/*.rs", "tests/*.rs"]
+exclude = ["crates/analysis/fixtures/**"]
+
+[rules.no-panic]
+paths = ["crates/serve/src/**"]
+
+[rules.determinism]
+paths = "crates/math/src/**"
+"#,
+        )
+        .unwrap();
+        assert!(cfg.scans("crates/serve/src/engine.rs"));
+        assert!(!cfg.scans("crates/analysis/fixtures/seeded/bad.rs"));
+        assert!(cfg.rule_applies(Rule::NoPanic, "crates/serve/src/engine.rs"));
+        assert!(!cfg.rule_applies(Rule::NoPanic, "crates/math/src/vecops.rs"));
+        assert!(cfg.rule_applies(Rule::Determinism, "crates/math/src/vecops.rs"));
+        assert!(!cfg.rule_applies(Rule::NoAlloc, "crates/math/src/vecops.rs"));
+        assert!(cfg.rule_applies(Rule::Annotation, "crates/math/src/vecops.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_rules() {
+        assert!(Config::parse("[scan]\nbogus = \"x\"\n").is_err());
+        assert!(Config::parse("[rules.made-up]\npaths = [\"**\"]\n").is_err());
+        assert!(Config::parse("[scan]\ninclude = 12\n").is_err());
+    }
+}

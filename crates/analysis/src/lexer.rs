@@ -1,0 +1,423 @@
+//! A comment/string/raw-string-aware Rust token scanner.
+//!
+//! The build container is offline, so `syn`/`proc-macro2` are not
+//! available; like the serde and proptest shims, this is a hand-rolled
+//! stand-in that implements exactly the subset the lint rules need.
+//! The scanner does **not** parse Rust — it splits a source file into a
+//! flat token stream with byte offsets and line numbers, which is
+//! enough to (a) never mistake the inside of a string literal or
+//! comment for code, and (b) let the rule engine match short token
+//! sequences such as `# [ cfg ( test ) ]` or `Vec :: new`.
+//!
+//! Invariants the property tests pin down:
+//!
+//! * tokens are emitted in source order with strictly increasing,
+//!   non-overlapping `[start, end)` byte spans;
+//! * every byte of the input is either inside exactly one token span or
+//!   is whitespace (offset round-trip: joining spans and gaps
+//!   reconstructs the file);
+//! * nested block comments, raw strings with arbitrary `#` counts, byte
+//!   and raw-byte strings, char literals, and lifetimes all lex as
+//!   single tokens — their contents are never re-scanned as code.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1e-3`).
+    Number,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Line comment, including doc comments (`//`, `///`, `//!`).
+    LineComment,
+    /// Block comment, including doc block comments; nests.
+    BlockComment,
+    /// A single punctuation byte (`::` is two `Punct` tokens).
+    Punct,
+}
+
+/// One lexeme: kind plus its byte span and 1-based source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source file.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Splits `src` into tokens. Unterminated strings/comments are tolerated
+/// (the remainder of the file becomes one token) so the linter can still
+/// report on files that do not compile.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'r' | b'b' | b'c' if self.raw_or_byte_string() => {}
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ => {
+                    let start = self.pos;
+                    self.pos += utf8_len(b);
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token { kind, start, end: self.pos, line: self.line });
+    }
+
+    /// Advances one byte, bumping the line counter on `\n`.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.tokens.push(Token { kind: TokenKind::LineComment, start, end: self.pos, line });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::BlockComment, start, end: self.pos, line });
+    }
+
+    /// Ordinary (escaped) string body starting at the opening quote;
+    /// `start` covers any `b`/`c` prefix already consumed.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"`,
+    /// and raw identifiers `r#ident`. Returns false if the `r`/`b`/`c`
+    /// at the cursor is just the start of a plain identifier.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.pos;
+        let first = self.src[self.pos];
+        // `r…` and `br…` open raw (unescaped) literals.
+        let (raw, quote_scan_from) = match (first, self.peek(1)) {
+            (b'r', _) => (true, self.pos + 1),
+            (b'b', Some(b'r')) => (true, self.pos + 2),
+            _ => (false, self.pos + 1),
+        };
+        if raw {
+            let mut at = quote_scan_from;
+            let mut hashes = 0usize;
+            while self.src.get(at) == Some(&b'#') {
+                hashes += 1;
+                at += 1;
+            }
+            if self.src.get(at) == Some(&b'"') {
+                self.raw_string_body(start, at, hashes);
+                return true;
+            }
+            // Raw identifier `r#ident` (exactly one `#`, then ident start).
+            if first == b'r' && hashes == 1 && self.src.get(at).copied().is_some_and(is_ident_start)
+            {
+                self.pos = at;
+                while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Ident, start);
+                return true;
+            }
+            return false; // `r`/`br` was just the start of an identifier
+        }
+        match (first, self.peek(1)) {
+            // `b"…"` / `c"…"`: escaped body with a one-byte prefix.
+            (b'b' | b'c', Some(b'"')) => {
+                self.pos = start + 1;
+                self.string(start);
+                true
+            }
+            // Byte char literal `b'x'`.
+            (b'b', Some(b'\'')) => {
+                self.pos = start + 1;
+                self.char_body(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw string body: cursor given at the opening quote, closed by a
+    /// quote followed by `hashes` `#`s.
+    fn raw_string_body(&mut self, start: usize, quote: usize, hashes: usize) {
+        let line = self.line;
+        self.pos = quote + 1;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let close_end = self.pos + 1 + hashes;
+                if close_end <= self.src.len()
+                    && self.src[self.pos + 1..close_end].iter().all(|&b| b == b'#')
+                {
+                    self.pos = close_end;
+                    self.tokens.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+                    return;
+                }
+            }
+            self.bump();
+        }
+        self.tokens.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+    }
+
+    /// Disambiguates char literals from lifetimes/labels at a `'`.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // `'…` where `…` is an identifier NOT followed by a closing
+        // quote is a lifetime; `'a'` is a char literal.
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(1) != Some(b'\'') {
+            let mut at = self.pos + 2;
+            while self.src.get(at).copied().is_some_and(is_ident_continue) {
+                at += 1;
+            }
+            if self.src.get(at) != Some(&b'\'') {
+                self.pos = at;
+                self.push(TokenKind::Lifetime, start);
+                return;
+            }
+        }
+        self.char_body(start);
+    }
+
+    /// Char literal body; cursor at the opening `'` (prefix, if any,
+    /// starts at `start`).
+    fn char_body(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        if self.pos < self.src.len() && self.src[self.pos] == b'\\' {
+            self.pos += 1;
+            if self.pos < self.src.len() {
+                self.bump(); // escaped char (covers \' and \\)
+            }
+            // `\u{…}` spans to the closing brace.
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.bump();
+            }
+        } else if self.pos < self.src.len() {
+            self.bump(); // the literal char (may be multi-byte UTF-8)
+            while self.pos < self.src.len()
+                && self.src[self.pos] != b'\''
+                && !self.src[self.pos].is_ascii_whitespace()
+            {
+                self.pos += 1; // tolerate multi-byte sequences
+            }
+        }
+        if self.pos < self.src.len() && self.src[self.pos] == b'\'' {
+            self.pos += 1;
+        }
+        self.tokens.push(Token { kind: TokenKind::Char, start, end: self.pos, line });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let hex = self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b'));
+        let mut seen_dot = false;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'0'..=b'9' | b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.pos += 1,
+                // `1.5` continues the number; `0..n` and `1.max(2)` do not.
+                b'.' if !seen_dot && !hex && self.peek(1).is_some_and(|n| n.is_ascii_digit()) => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                // Exponent sign: only directly after `e`/`E` in decimal.
+                b'+' | b'-'
+                    if !hex
+                        && matches!(self.src[self.pos - 1], b'e' | b'E')
+                        && self.pos > start + 1 =>
+                {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        self.push(TokenKind::Number, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Length of a UTF-8 sequence from its first byte (1 for ASCII and, for
+/// robustness, for stray continuation bytes).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"let s = "a // not a comment"; // real
+/* block /* nested */ still comment */ x"##;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, "\"a // not a comment\"".into())));
+        assert!(toks.contains(&(TokenKind::LineComment, "// real".into())));
+        assert!(toks
+            .contains(&(TokenKind::BlockComment, "/* block /* nested */ still comment */".into())));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and \ no escapes"#; y"####;
+        let toks = kinds(src);
+        assert!(toks
+            .contains(&(TokenKind::Str, r###"r#"contains "quotes" and \ no escapes"#"###.into())));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"b"ab\"c" br#"d"e"# b'x' r#loop"###);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Str, "b\"ab\\\"c\"".into()),
+                (TokenKind::Str, r###"br#"d"e"#"###.into()),
+                (TokenKind::Char, "b'x'".into()),
+                (TokenKind::Ident, "r#loop".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds(r"'a' 'x: &'static str '\'' '\u{1F600}'");
+        assert_eq!(toks[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'x".into()));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+        assert!(toks.contains(&(TokenKind::Char, r"'\''".into())));
+        assert!(toks.contains(&(TokenKind::Char, r"'\u{1F600}'".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("0..n 1.5e-3 1.max(2) 0xFF-1");
+        assert_eq!(toks[0], (TokenKind::Number, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb \"s\nt\" c";
+        let by_text: Vec<(String, u32)> =
+            lex(src).iter().map(|t| (t.text(src).to_string(), t.line)).collect();
+        assert!(by_text.contains(&("a".into(), 1)));
+        assert!(by_text.contains(&("/* x\ny */".into(), 2)));
+        assert!(by_text.contains(&("b".into(), 4)));
+        assert!(by_text.contains(&("c".into(), 5)));
+    }
+}

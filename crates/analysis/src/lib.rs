@@ -1,0 +1,22 @@
+//! `tcam-analysis`: the static-analysis library behind
+//! `cargo run -p xtask -- lint`, plus the [`CountingAlloc`] dynamic
+//! harness.
+//!
+//! The workspace's hot paths rest on invariants that ordinary tests
+//! only sample: bitwise-reproducible EM at any thread count, zero
+//! steady-state allocation in the query/EM kernels, and panic-free
+//! serving code. This crate mechanizes them as lint rules over a
+//! hand-rolled token scanner (the container is offline — no `syn`),
+//! with suppressions that must carry a written reason. See DESIGN.md
+//! §14 for the rule catalogue and the annotation grammar.
+//!
+//! Everything here is `std`-only and dependency-free, like the shims.
+
+pub mod alloc;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use alloc::{allocation_events, deallocation_events, CountingAlloc};
+pub use config::Config;
+pub use rules::{check_source, Diagnostic, Rule};

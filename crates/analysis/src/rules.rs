@@ -1,0 +1,551 @@
+//! The lint rule engine.
+//!
+//! Rules encode the workspace's real invariants (see DESIGN.md §14):
+//!
+//! * **no-panic** — library code on the serving path (`online`, `serve`,
+//!   `rec`) must not contain `.unwrap()`, `.expect(…)`, `panic!`-family
+//!   macros, or `[]` indexing outside `#[cfg(test)]`. Indexing sites
+//!   that are provably in bounds are annotated, not exempted wholesale.
+//! * **unsafe-audit** — every `unsafe` token must be immediately
+//!   preceded by a `// SAFETY:` comment (or sit under a `/// # Safety`
+//!   doc section), with only attributes between.
+//! * **determinism** — the bitwise-reproducibility zone (`crates/math`,
+//!   the EM/merge paths in `crates/core`) must not name `HashMap`/
+//!   `HashSet` (iteration order varies), `Instant`/`SystemTime`
+//!   (wall-clock-dependent), `mul_add` (FMA contracts differently from
+//!   mul-then-add), or branch on the current thread.
+//! * **no-alloc** — inside functions marked `// tcam-lint: hot`, the
+//!   steady-state allocation sources `Vec::new`, `vec!`, `.collect()`,
+//!   `.to_vec()`, `format!`, and `Box::new` are forbidden; scratch is
+//!   reused, never reallocated.
+//! * **annotation** — the lint's own grammar: malformed or dangling
+//!   `tcam-lint:` comments are themselves diagnostics, so a typo'd
+//!   allow can never silently disable a rule.
+//!
+//! Suppression grammar (a reason is mandatory):
+//!
+//! ```text
+//! // tcam-lint: allow(<rule>) -- <reason>       same + next line
+//! // tcam-lint: allow-fn(<rule>) -- <reason>    next fn's body
+//! // tcam-lint: allow-file(<rule>) -- <reason>  whole file
+//! // tcam-lint: hot                             next fn is a hot path
+//! ```
+
+use std::fmt;
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panics forbidden in serving-path library code.
+    NoPanic,
+    /// `unsafe` requires an adjacent `// SAFETY:` justification.
+    UnsafeAudit,
+    /// Bitwise-reproducibility zone restrictions.
+    Determinism,
+    /// Allocation forbidden in `// tcam-lint: hot` functions.
+    NoAlloc,
+    /// The `tcam-lint:` annotation grammar itself.
+    Annotation,
+}
+
+impl Rule {
+    /// The rule's config/annotation name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::Determinism => "determinism",
+            Rule::NoAlloc => "no-alloc",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses a rule name as written in config files and annotations.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-panic" => Some(Rule::NoPanic),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "determinism" => Some(Rule::Determinism),
+            "no-alloc" => Some(Rule::NoAlloc),
+            "annotation" => Some(Rule::Annotation),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: where, which rule, and what was matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Root-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What was found and why it is forbidden here.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Lints one file. `path` is only used for zone matching and reporting;
+/// the caller does the I/O.
+pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let mut pass = FilePass::new(path, src, cfg);
+    pass.structure(&tokens);
+    pass.scan_code();
+    pass.diags.sort_by_key(|d| (d.line, d.rule));
+    pass.diags
+}
+
+/// Keywords that can legitimately precede `[` without it being an
+/// indexing expression (slice patterns, array types after `->`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Macros whose expansion can panic at runtime.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers banned outright in the determinism zone, with the reason.
+const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order varies run-to-run; use BTreeMap or index-keyed Vecs"),
+    ("HashSet", "iteration order varies run-to-run; use BTreeSet or sorted Vecs"),
+    ("Instant", "wall-clock reads make results time-dependent"),
+    ("SystemTime", "wall-clock reads make results time-dependent"),
+    ("ThreadId", "thread-identity branching breaks thread-count invariance"),
+    ("mul_add", "FMA rounds once where mul-then-add rounds twice; breaks bitwise reproducibility"),
+];
+
+/// Per-brace-scope state.
+#[derive(Debug, Clone, Default)]
+struct Region {
+    cfg_test: bool,
+    hot: bool,
+    allows: Vec<Rule>,
+}
+
+/// Per-code-token state snapshot used by the rule checks.
+#[derive(Debug, Clone, Default)]
+struct State {
+    cfg_test: bool,
+    hot: bool,
+    allows: Vec<Rule>,
+}
+
+struct FilePass<'a> {
+    path: &'a str,
+    src: &'a str,
+    lines: Vec<&'a str>,
+    diags: Vec<Diagnostic>,
+    /// Code tokens (comments stripped) and their region state.
+    code: Vec<Token>,
+    state: Vec<State>,
+    /// `(rule, line)` pairs suppressed by inline `allow(…)`.
+    line_allows: Vec<(Rule, u32)>,
+    file_allows: Vec<Rule>,
+    /// Active rules for this file, resolved from the config zones once.
+    no_panic: bool,
+    unsafe_audit: bool,
+    determinism: bool,
+    no_alloc: bool,
+}
+
+impl<'a> FilePass<'a> {
+    fn new(path: &'a str, src: &'a str, cfg: &Config) -> Self {
+        FilePass {
+            path,
+            src,
+            lines: src.lines().collect(),
+            diags: Vec::new(),
+            code: Vec::new(),
+            state: Vec::new(),
+            line_allows: Vec::new(),
+            file_allows: Vec::new(),
+            no_panic: cfg.rule_applies(Rule::NoPanic, path),
+            unsafe_audit: cfg.rule_applies(Rule::UnsafeAudit, path),
+            determinism: cfg.rule_applies(Rule::Determinism, path),
+            no_alloc: cfg.rule_applies(Rule::NoAlloc, path),
+        }
+    }
+
+    fn diag(&mut self, rule: Rule, line: u32, message: String) {
+        if self.file_allows.contains(&rule) {
+            return;
+        }
+        if self.line_allows.iter().any(|&(r, l)| r == rule && (l == line || l + 1 == line)) {
+            return;
+        }
+        self.diags.push(Diagnostic { path: self.path.to_string(), line, rule, message });
+    }
+
+    /// Like [`Self::diag`] but also honoring a fn-scope allow.
+    fn diag_in(&mut self, st: &State, rule: Rule, line: u32, message: String) {
+        if st.allows.contains(&rule) {
+            return;
+        }
+        self.diag(rule, line, message);
+    }
+
+    /// Structural pass: walks all tokens once, resolving annotations,
+    /// `#[cfg(test)]` regions, and hot/allow-fn function bodies into a
+    /// per-code-token [`State`].
+    fn structure(&mut self, tokens: &[Token]) {
+        let mut regions: Vec<Region> = vec![Region::default()];
+        // Last 7 code-token texts, for `# [ cfg ( test ) ]` matching.
+        let mut window: [&str; 7] = [""; 7];
+        let mut pending_cfg_test = false;
+        // Annotations waiting for the `fn` they apply to.
+        let mut pending_hot: Option<u32> = None;
+        let mut pending_fn_allows: Vec<(Rule, u32)> = Vec::new();
+        // `fn` seen; waiting for its body `{`.
+        let mut awaiting_body: Option<(bool, Vec<Rule>)> = None;
+
+        for tok in tokens {
+            match tok.kind {
+                TokenKind::LineComment => {
+                    match self.parse_annotation(tok) {
+                        Annotation::None => {}
+                        Annotation::Hot => pending_hot = Some(tok.line),
+                        Annotation::Allow(rule) => self.line_allows.push((rule, tok.line)),
+                        Annotation::AllowFn(rule) => pending_fn_allows.push((rule, tok.line)),
+                        Annotation::AllowFile(rule) => self.file_allows.push(rule),
+                        Annotation::Malformed(msg) => self.diag(Rule::Annotation, tok.line, msg),
+                    }
+                    continue;
+                }
+                TokenKind::BlockComment => continue,
+                _ => {}
+            }
+            let text = tok.text(self.src);
+            window.rotate_left(1);
+            window[6] = text;
+            if window == ["#", "[", "cfg", "(", "test", ")", "]"] {
+                pending_cfg_test = true;
+            }
+
+            match (tok.kind, text) {
+                (TokenKind::Ident, "fn")
+                    if pending_hot.is_some() || !pending_fn_allows.is_empty() =>
+                {
+                    awaiting_body = Some((
+                        pending_hot.take().is_some(),
+                        pending_fn_allows.drain(..).map(|(r, _)| r).collect(),
+                    ));
+                }
+                (TokenKind::Punct, "{") => {
+                    self.report_dangling(&mut pending_hot, &mut pending_fn_allows);
+                    let top = regions.last().cloned().unwrap_or_default();
+                    let (hot, fn_allows) = awaiting_body.take().unwrap_or((false, Vec::new()));
+                    let mut allows = top.allows.clone();
+                    allows.extend(fn_allows);
+                    regions.push(Region {
+                        cfg_test: top.cfg_test || std::mem::take(&mut pending_cfg_test),
+                        hot: top.hot || hot,
+                        allows,
+                    });
+                }
+                (TokenKind::Punct, "}") => {
+                    self.report_dangling(&mut pending_hot, &mut pending_fn_allows);
+                    if regions.len() > 1 {
+                        regions.pop();
+                    }
+                }
+                (TokenKind::Punct, ";") => {
+                    // An item ended without a body: attributes and
+                    // fn-annotations waiting on one are dropped.
+                    pending_cfg_test = false;
+                    awaiting_body = None;
+                    self.report_dangling(&mut pending_hot, &mut pending_fn_allows);
+                }
+                _ => {}
+            }
+
+            let top = regions.last().cloned().unwrap_or_default();
+            self.code.push(*tok);
+            self.state.push(State { cfg_test: top.cfg_test, hot: top.hot, allows: top.allows });
+        }
+    }
+
+    /// A `hot`/`allow-fn` annotation must bind to the next `fn`; hitting
+    /// a scope boundary first means it dangles — report, don't ignore.
+    fn report_dangling(&mut self, hot: &mut Option<u32>, allows: &mut Vec<(Rule, u32)>) {
+        if let Some(line) = hot.take() {
+            self.diag(
+                Rule::Annotation,
+                line,
+                "`tcam-lint: hot` must immediately precede a function item".to_string(),
+            );
+        }
+        for (rule, line) in allows.drain(..) {
+            self.diag(
+                Rule::Annotation,
+                line,
+                format!("`tcam-lint: allow-fn({rule})` must immediately precede a function item"),
+            );
+        }
+    }
+
+    /// Parses one line comment; non-`tcam-lint:` comments are
+    /// [`Annotation::None`]. Doc comments are prose, never annotations.
+    fn parse_annotation(&self, tok: &Token) -> Annotation {
+        let text = tok.text(self.src);
+        if text.starts_with("///") || text.starts_with("//!") {
+            return Annotation::None;
+        }
+        let body = text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("tcam-lint:") else {
+            return Annotation::None;
+        };
+        let rest = rest.trim();
+        if rest == "hot" {
+            return Annotation::Hot;
+        }
+        for (prefix, kind) in [
+            ("allow-file(", AllowKind::File),
+            ("allow-fn(", AllowKind::Fn),
+            ("allow(", AllowKind::Line),
+        ] {
+            if let Some(tail) = rest.strip_prefix(prefix) {
+                let Some((name, after)) = tail.split_once(')') else {
+                    return Annotation::Malformed(format!("unclosed `{prefix}…)` annotation"));
+                };
+                let Some(rule) = Rule::from_name(name.trim()) else {
+                    return Annotation::Malformed(format!(
+                        "unknown rule `{}` in tcam-lint annotation",
+                        name.trim()
+                    ));
+                };
+                let reason = after.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+                if reason.is_empty() {
+                    return Annotation::Malformed(format!(
+                        "tcam-lint allow({rule}) requires a reason: `-- <why this is sound>`"
+                    ));
+                }
+                return match kind {
+                    AllowKind::Line => Annotation::Allow(rule),
+                    AllowKind::Fn => Annotation::AllowFn(rule),
+                    AllowKind::File => Annotation::AllowFile(rule),
+                };
+            }
+        }
+        Annotation::Malformed(format!(
+            "unrecognized tcam-lint directive `{rest}` (expected hot, allow, allow-fn, allow-file)"
+        ))
+    }
+
+    /// Rule pass over the code tokens with their resolved state.
+    fn scan_code(&mut self) {
+        for i in 0..self.code.len() {
+            let tok = self.code[i];
+            let st = self.state[i].clone();
+            let text = tok.text(self.src);
+            if self.no_panic && !st.cfg_test {
+                self.check_no_panic(i, &st, tok, text);
+            }
+            if self.unsafe_audit && tok.kind == TokenKind::Ident && text == "unsafe" {
+                self.check_unsafe(&st, tok);
+            }
+            if self.determinism && !st.cfg_test {
+                self.check_determinism(i, &st, tok, text);
+            }
+            if self.no_alloc && st.hot {
+                self.check_no_alloc(i, &st, tok, text);
+            }
+        }
+    }
+
+    fn prev(&self, i: usize) -> Option<(&Token, &str)> {
+        i.checked_sub(1).map(|j| (&self.code[j], self.code[j].text(self.src)))
+    }
+
+    fn next(&self, i: usize) -> Option<(&Token, &str)> {
+        self.code.get(i + 1).map(|t| (t, t.text(self.src)))
+    }
+
+    /// True when `code[i..]` spells out `texts` (all token kinds accepted).
+    fn seq(&self, i: usize, texts: &[&str]) -> bool {
+        self.code[i..].iter().map(|t| t.text(self.src)).take(texts.len()).eq(texts.iter().copied())
+    }
+
+    fn check_no_panic(&mut self, i: usize, st: &State, tok: Token, text: &str) {
+        match tok.kind {
+            TokenKind::Ident if text == "unwrap" || text == "expect" => {
+                let after_dot = self.prev(i).is_some_and(|(_, p)| p == ".");
+                let called = self.next(i).is_some_and(|(_, n)| n == "(");
+                if after_dot && called {
+                    self.diag_in(
+                        st,
+                        Rule::NoPanic,
+                        tok.line,
+                        format!(
+                            "`.{text}()` in no-panic zone; return a typed error or annotate \
+                             documented infallibility"
+                        ),
+                    );
+                }
+            }
+            TokenKind::Ident
+                if PANIC_MACROS.contains(&text) && self.next(i).is_some_and(|(_, n)| n == "!") =>
+            {
+                self.diag_in(st, Rule::NoPanic, tok.line, format!("`{text}!` in no-panic zone"));
+            }
+            TokenKind::Punct if text == "[" => {
+                let indexing = match self.prev(i) {
+                    Some((p, ptext)) => match p.kind {
+                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&ptext),
+                        TokenKind::Punct => ptext == ")" || ptext == "]" || ptext == "?",
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if indexing {
+                    self.diag_in(
+                        st,
+                        Rule::NoPanic,
+                        tok.line,
+                        "`[]` indexing in no-panic zone; use `.get(…)` or annotate why the index \
+                         is in bounds"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `unsafe` must carry an adjacent justification: either a trailing
+    /// `// SAFETY:` on its own line, or `// SAFETY:` / a `/// # Safety`
+    /// doc section on the lines directly above (attributes may sit in
+    /// between).
+    fn check_unsafe(&mut self, st: &State, tok: Token) {
+        let here = (tok.line as usize).saturating_sub(1); // 0-based
+        if self.lines.get(here).is_some_and(|l| l.contains("// SAFETY:")) {
+            return;
+        }
+        let mut j = here;
+        while j > 0 {
+            j -= 1;
+            let trimmed = self.lines[j].trim_start();
+            if trimmed.starts_with('#') {
+                continue; // attributes between the comment and the item
+            }
+            if trimmed.starts_with("///") {
+                // Scan the whole contiguous doc block for `# Safety`.
+                let mut k = j + 1;
+                while k > 0 && self.lines[k - 1].trim_start().starts_with("///") {
+                    k -= 1;
+                    if self.lines[k].contains("# Safety") {
+                        return;
+                    }
+                }
+                break;
+            }
+            if trimmed.starts_with("//") {
+                // Scan the whole contiguous comment block (a SAFETY
+                // justification may wrap over several lines).
+                let mut k = j + 1;
+                while k > 0 && self.lines[k - 1].trim_start().starts_with("//") {
+                    k -= 1;
+                    if self.lines[k].contains("// SAFETY:") {
+                        return;
+                    }
+                }
+                break;
+            }
+            break;
+        }
+        self.diag_in(
+            st,
+            Rule::UnsafeAudit,
+            tok.line,
+            "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+        );
+    }
+
+    fn check_determinism(&mut self, i: usize, st: &State, tok: Token, text: &str) {
+        if tok.kind != TokenKind::Ident {
+            return;
+        }
+        if let Some((_, why)) = NONDETERMINISTIC_IDENTS.iter().find(|(name, _)| *name == text) {
+            self.diag_in(
+                st,
+                Rule::Determinism,
+                tok.line,
+                format!("`{text}` in determinism zone: {why}"),
+            );
+        }
+        if text == "thread" && self.seq(i, &["thread", ":", ":", "current"]) {
+            self.diag_in(
+                st,
+                Rule::Determinism,
+                tok.line,
+                "`thread::current()` in determinism zone: thread-identity branching breaks \
+                 thread-count invariance"
+                    .to_string(),
+            );
+        }
+    }
+
+    fn check_no_alloc(&mut self, i: usize, st: &State, tok: Token, text: &str) {
+        if tok.kind != TokenKind::Ident {
+            return;
+        }
+        let bang = |s: &Self| s.next(i).is_some_and(|(_, n)| n == "!");
+        let method = |s: &Self| s.prev(i).is_some_and(|(_, p)| p == ".");
+        let assoc_new = |s: &Self| s.seq(i + 1, &[":", ":", "new"]);
+        let found: Option<&str> = match text {
+            "Vec" | "Box" if assoc_new(self) => Some(if text == "Vec" {
+                "`Vec::new` allocates on first push"
+            } else {
+                "`Box::new` heap-allocates"
+            }),
+            "vec" if bang(self) => Some("`vec!` allocates"),
+            "format" if bang(self) => Some("`format!` allocates a String"),
+            "collect" if method(self) => Some("`.collect()` allocates its container"),
+            "to_vec" if method(self) => Some("`.to_vec()` allocates"),
+            _ => None,
+        };
+        if let Some(what) = found {
+            self.diag_in(
+                st,
+                Rule::NoAlloc,
+                tok.line,
+                format!("{what}; hot functions must reuse caller-provided scratch"),
+            );
+        }
+    }
+}
+
+enum AllowKind {
+    Line,
+    Fn,
+    File,
+}
+
+/// A parsed `tcam-lint:` comment.
+enum Annotation {
+    None,
+    Hot,
+    Allow(Rule),
+    AllowFn(Rule),
+    AllowFile(Rule),
+    Malformed(String),
+}

@@ -1,0 +1,161 @@
+//! Analyzer integration tests: exact diagnostics on the seeded
+//! fixture, a clean negative fixture, and a property test that the
+//! lexer's token stream round-trips byte offsets over adversarial
+//! nesting of raw strings, block comments, and char literals.
+
+use proptest::proptest;
+use tcam_analysis::lexer::{lex, TokenKind};
+use tcam_analysis::{check_source, Config, Rule};
+
+const SEEDED: &str = include_str!("../fixtures/seeded/src/violations.rs");
+const SEEDED_CONFIG: &str = include_str!("../fixtures/seeded/tcam-lint.toml");
+const CLEAN: &str = include_str!("../fixtures/clean/src/clean.rs");
+
+fn seeded_config() -> Config {
+    Config::parse(SEEDED_CONFIG).expect("fixture config parses")
+}
+
+/// Every planted violation is reported with its exact rule and line —
+/// no more, no fewer. Renumbering `violations.rs` must update this
+/// table, which is the point: the expectations are pinned.
+#[test]
+fn seeded_fixture_yields_exact_diagnostics() {
+    let cfg = seeded_config();
+    let diags = check_source("src/violations.rs", SEEDED, &cfg);
+    let got: Vec<(Rule, u32)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    let want = vec![
+        (Rule::NoPanic, 7),      // .unwrap()
+        (Rule::NoPanic, 12),     // .expect(…)
+        (Rule::NoPanic, 17),     // panic!
+        (Rule::NoPanic, 22),     // xs[0]
+        (Rule::UnsafeAudit, 27), // unsafe without SAFETY
+        (Rule::Determinism, 32), // HashMap type annotation
+        (Rule::Determinism, 32), // HashMap::new()
+        (Rule::Determinism, 37), // Instant in return type
+        (Rule::Determinism, 38), // Instant::now()
+        (Rule::NoAlloc, 44),     // Vec::new() in a hot fn
+        (Rule::Annotation, 53),  // allow() without a reason
+    ];
+    assert_eq!(got, want, "diagnostics: {diags:#?}");
+}
+
+/// The clean fixture exercises every rule's escape hatch (reasoned
+/// allows, SAFETY comments, cfg(test) scoping, capacity-reusing hot
+/// code, raw-string decoys) and must produce nothing.
+#[test]
+fn clean_fixture_yields_no_diagnostics() {
+    let cfg = seeded_config();
+    let diags = check_source("src/clean.rs", CLEAN, &cfg);
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");
+}
+
+/// Diagnostics render as `path:line: [rule] message` for terminal
+/// click-through.
+#[test]
+fn diagnostic_display_format() {
+    let cfg = seeded_config();
+    let diags = check_source("src/violations.rs", SEEDED, &cfg);
+    let first = diags.first().expect("seeded fixture has diagnostics");
+    let line = first.to_string();
+    assert!(line.starts_with("src/violations.rs:7: [no-panic]"), "got: {line}");
+}
+
+// --- Lexer round-trip property -----------------------------------------
+
+/// A tiny deterministic generator assembling adversarial source text
+/// from fragments the lexer finds hardest: raw strings with varied
+/// hash counts, nested block comments, char-vs-lifetime ambiguity,
+/// escapes, and multi-byte UTF-8.
+fn adversarial_source(seed: u64, len: usize) -> String {
+    // SplitMix64 — self-contained so the test depends only on the seed.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut out = String::new();
+    for _ in 0..len {
+        match next() % 16 {
+            0 => {
+                let hashes = "#".repeat((next() % 4) as usize);
+                // Raw string whose body contains quotes and fewer hashes
+                // than the delimiter, so it must not close early.
+                out.push_str(&format!("r{hashes}\"quote \" inner \"# body\"{hashes}"));
+            }
+            1 => {
+                let depth = 1 + (next() % 3) as usize;
+                // Nested block comment with code-like bait inside.
+                out.push_str(&"/*".repeat(depth));
+                out.push_str(" unwrap() \" ' r#\" ");
+                out.push_str(&"*/".repeat(depth));
+            }
+            2 => out.push_str("'a"),
+            3 => out.push_str("'\\n'"),
+            4 => out.push_str("'x'"),
+            5 => out.push_str("b'\\''"),
+            6 => out.push_str("\"esc \\\" \\\\ \\u{1F600}\""),
+            7 => out.push_str("// line comment with \" and ' and /*\n"),
+            8 => out.push_str("ident_0"),
+            9 => out.push_str("1_000u64"),
+            10 => out.push_str("0..n"),
+            11 => out.push_str("1.5e-3"),
+            12 => out.push_str("r#match"),
+            13 => out.push_str("b\"bytes\""),
+            14 => out.push_str("λ_unicode"),
+            _ => out.push_str(":: -> => .. "),
+        }
+        // Random whitespace between fragments.
+        match next() % 4 {
+            0 => out.push(' '),
+            1 => out.push('\n'),
+            2 => out.push('\t'),
+            _ => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    /// For any adversarially assembled source: tokens are in order,
+    /// non-overlapping, in bounds, aligned to UTF-8 boundaries; every
+    /// non-whitespace byte is inside exactly one token span; and each
+    /// token's recorded line equals the newline count before its start.
+    #[test]
+    fn lexer_round_trips_offsets(seed in 0u64..u64::MAX) {
+        let src = adversarial_source(seed, 40);
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            assert!(t.start >= prev_end, "overlap at {}..{} (seed {seed})", t.start, t.end);
+            assert!(t.end > t.start, "empty token at {} (seed {seed})", t.start);
+            assert!(t.end <= src.len(), "token past EOF (seed {seed})");
+            assert!(
+                src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+                "token splits a UTF-8 scalar (seed {seed})"
+            );
+            let line = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            assert_eq!(t.line, line, "line number drift at {} (seed {seed})", t.start);
+            // Gaps between tokens hold only whitespace.
+            assert!(
+                src[prev_end..t.start].chars().all(char::is_whitespace),
+                "non-whitespace byte fell between tokens at {}..{} (seed {seed})",
+                prev_end,
+                t.start
+            );
+            prev_end = t.end;
+        }
+        assert!(
+            src[prev_end..].chars().all(char::is_whitespace),
+            "trailing non-whitespace escaped the lexer (seed {seed})"
+        );
+        // A Punct is always a single ASCII byte by construction.
+        for t in &tokens {
+            if t.kind == TokenKind::Punct {
+                assert_eq!(t.end - t.start, src[t.start..t.end].chars().next().map_or(1, char::len_utf8));
+            }
+        }
+    }
+}

@@ -93,6 +93,37 @@ impl UserStats {
         }
         views
     }
+
+    /// Visits the same disjoint per-shard windows as [`Self::split`], in
+    /// shard order, without materializing the view list. This is the
+    /// serial E-step's dispatch: warm iterations must not allocate
+    /// (asserted by `tests/zero_alloc.rs`), and the per-iteration `Vec`
+    /// of views is exactly the kind of steady-state garbage the
+    /// `no-alloc` lint exists to keep out.
+    // tcam-lint: hot
+    pub fn for_each_view(
+        &mut self,
+        shards: &[Range<usize>],
+        mut visit: impl FnMut(Range<usize>, UserStatsView<'_>),
+    ) {
+        let k1 = self.theta_num.cols();
+        let mut theta_rest = self.theta_num.as_mut_slice();
+        let mut lambda_rest = self.lambda_num.as_mut_slice();
+        let mut mass_rest = self.mass.as_mut_slice();
+        let mut next_base = 0usize;
+        for r in shards {
+            debug_assert_eq!(r.start, next_base);
+            next_base = r.end;
+            let users = r.end - r.start;
+            let (theta, tr) = theta_rest.split_at_mut(users * k1);
+            let (lambda_num, lr) = lambda_rest.split_at_mut(users);
+            let (mass, mr) = mass_rest.split_at_mut(users);
+            theta_rest = tr;
+            lambda_rest = lr;
+            mass_rest = mr;
+            visit(r.clone(), UserStatsView { base: r.start, k1, theta, lambda_num, mass });
+        }
+    }
 }
 
 /// One shard's disjoint window into [`UserStats`]. Indexed by *global*
@@ -138,6 +169,7 @@ pub(crate) trait MergeStats {
 /// `states.len()`, so the result is bitwise reproducible for any thread
 /// count — and the merges within one level are independent, should a
 /// future PR want to run the tree itself on threads.
+// tcam-lint: hot
 pub(crate) fn merge_tree<S: MergeStats>(states: &mut [S]) {
     let n = states.len();
     let mut gap = 1;
@@ -243,6 +275,7 @@ pub(crate) fn init_item_major(v_dim: usize, k: usize, rng: &mut Pcg64) -> Matrix
 
 /// M-step row normalization: `dst[r] = normalize(src[r])` for every row
 /// (uniform fallback for empty rows, as in `normalize_in_place`).
+// tcam-lint: hot
 pub(crate) fn normalize_rows(src: &Matrix, dst: &mut Matrix) {
     debug_assert_eq!(src.rows(), dst.rows());
     for r in 0..src.rows() {
@@ -255,12 +288,18 @@ pub(crate) fn normalize_rows(src: &Matrix, dst: &mut Matrix) {
 /// M-step column normalization of item-major numerators into `dst` so
 /// every topic is a distribution over items (uniform fallback for empty
 /// topics). Shared by Eq. 9 (`phi_z`) and Eq. 16 (`phi'_x`).
-pub(crate) fn column_normalize(src: &Matrix, dst: &mut Matrix) {
+///
+/// `col_sums` is caller-owned scratch (sized lazily, so warm iterations
+/// reuse its capacity and this runs allocation-free after the first
+/// call at a given width).
+// tcam-lint: hot
+pub(crate) fn column_normalize(src: &Matrix, dst: &mut Matrix, col_sums: &mut Vec<f64>) {
     let v_dim = src.rows();
     let k = src.cols();
-    let mut col_sums = vec![0.0; k];
+    col_sums.clear();
+    col_sums.resize(k, 0.0);
     for v in 0..v_dim {
-        tcam_math::vecops::scaled_add(&mut col_sums, src.row(v), 1.0);
+        tcam_math::vecops::scaled_add(col_sums, src.row(v), 1.0);
     }
     for v in 0..v_dim {
         let src_row = src.row(v);
@@ -389,7 +428,8 @@ mod tests {
     fn column_normalize_matches_rowwise_definition() {
         let src = Matrix::from_vec(3, 2, vec![1.0, 0.0, 2.0, 0.0, 1.0, 0.0]).unwrap();
         let mut dst = Matrix::zeros(3, 2);
-        column_normalize(&src, &mut dst);
+        let mut col_sums = Vec::new();
+        column_normalize(&src, &mut dst, &mut col_sums);
         assert!((dst.get(0, 0) - 0.25).abs() < 1e-15);
         assert!((dst.get(1, 0) - 0.5).abs() < 1e-15);
         // Empty column falls back to uniform over items.

@@ -116,6 +116,7 @@ impl ItcamModel {
             shards.iter().map(|_| EmScratch::new(v_dim, k1)).collect();
         let mut theta_t_num = Matrix::zeros(t_dim, v_dim);
         let mut post0 = vec![0.0; cuboid.nnz()];
+        let mut col_scratch = vec![0.0; k1];
 
         let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
         let mut converged = false;
@@ -131,43 +132,83 @@ impl ItcamModel {
                 let theta_t = &theta_t;
                 let lambda = &lambda[..];
                 let background = &background[..];
-                // Each shard also owns the window of the `post0` buffer
-                // covering exactly its users' entries.
-                let mut post0_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
-                let mut rest = post0.as_mut_slice();
-                let mut consumed = 0usize;
-                for r in &shards {
-                    let end = cuboid.entry_range(r.clone()).end;
-                    let (head, tail) = rest.split_at_mut(end - consumed);
-                    post0_views.push(head);
-                    rest = tail;
-                    consumed = end;
-                }
-                let tasks: Vec<_> = shards
-                    .iter()
-                    .cloned()
-                    .zip(user_stats.split(&shards))
-                    .zip(scratch.iter_mut().zip(post0_views))
-                    .collect();
-                run_tasks(config.num_threads, tasks, |((users, mut view), (shard, post0_out))| {
-                    let base = cuboid.entry_range(users.clone()).start;
-                    for u in users {
-                        e_step_user(
-                            cuboid,
-                            UserId::from(u),
-                            theta,
-                            phi_item,
-                            theta_t,
-                            lambda,
-                            background,
-                            lam_b,
-                            base,
-                            post0_out,
-                            &mut view,
-                            shard,
-                        );
+                if config.num_threads <= 1 {
+                    // Serial dispatch: the same shards in the same
+                    // order, without materializing the task list — warm
+                    // iterations stay allocation-free (asserted by
+                    // `tests/zero_alloc.rs`). Each shard still owns the
+                    // window of `post0` covering its users' entries,
+                    // carved off progressively.
+                    let mut rest = post0.as_mut_slice();
+                    let mut consumed = 0usize;
+                    let mut shard_scratch = scratch.iter_mut();
+                    user_stats.for_each_view(&shards, |users, mut view| {
+                        let entries = cuboid.entry_range(users.clone());
+                        let (post0_out, tail) =
+                            std::mem::take(&mut rest).split_at_mut(entries.end - consumed);
+                        rest = tail;
+                        consumed = entries.end;
+                        let shard = shard_scratch.next().expect("one scratch per shard");
+                        for u in users {
+                            e_step_user(
+                                cuboid,
+                                UserId::from(u),
+                                theta,
+                                phi_item,
+                                theta_t,
+                                lambda,
+                                background,
+                                lam_b,
+                                entries.start,
+                                post0_out,
+                                &mut view,
+                                shard,
+                            );
+                        }
+                    });
+                } else {
+                    // Each shard also owns the window of the `post0`
+                    // buffer covering exactly its users' entries.
+                    let mut post0_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
+                    let mut rest = post0.as_mut_slice();
+                    let mut consumed = 0usize;
+                    for r in &shards {
+                        let end = cuboid.entry_range(r.clone()).end;
+                        let (head, tail) = rest.split_at_mut(end - consumed);
+                        post0_views.push(head);
+                        rest = tail;
+                        consumed = end;
                     }
-                });
+                    let tasks: Vec<_> = shards
+                        .iter()
+                        .cloned()
+                        .zip(user_stats.split(&shards))
+                        .zip(scratch.iter_mut().zip(post0_views))
+                        .collect();
+                    run_tasks(
+                        config.num_threads,
+                        tasks,
+                        |((users, mut view), (shard, post0_out))| {
+                            let base = cuboid.entry_range(users.clone()).start;
+                            for u in users {
+                                e_step_user(
+                                    cuboid,
+                                    UserId::from(u),
+                                    theta,
+                                    phi_item,
+                                    theta_t,
+                                    lambda,
+                                    background,
+                                    lam_b,
+                                    base,
+                                    post0_out,
+                                    &mut view,
+                                    shard,
+                                );
+                            }
+                        },
+                    );
+                }
             }
             em::merge_tree(&mut scratch);
             let log_likelihood = scratch[0].log_likelihood;
@@ -198,6 +239,7 @@ impl ItcamModel {
                 &mut phi_item,
                 &mut theta_t,
                 &mut lambda,
+                &mut col_scratch,
             );
         }
 
@@ -342,6 +384,7 @@ impl ItcamModel {
 /// [`em::UserStatsView`] window; the Eq. 10 contribution `c * post0` is
 /// recorded per entry into the shard's `post0_out` window (rebased by
 /// `entry_base`) for the later entry-order scatter.
+// tcam-lint: hot
 #[allow(clippy::too_many_arguments)]
 fn e_step_user(
     cuboid: &RatingCuboid,
@@ -405,6 +448,8 @@ fn e_step_user(
 }
 
 /// M-step: normalize sufficient statistics into parameters (Eqs. 8–11).
+/// `col_scratch` is reusable column-sum scratch.
+// tcam-lint: hot
 #[allow(clippy::too_many_arguments)]
 fn m_step(
     lambda_shrinkage: f64,
@@ -415,9 +460,10 @@ fn m_step(
     phi_item: &mut Matrix,
     theta_t: &mut Matrix,
     lambda: &mut [f64],
+    col_scratch: &mut Vec<f64>,
 ) {
     em::normalize_rows(&user_stats.theta_num, theta);
-    em::column_normalize(&shared.phi_item_num, phi_item);
+    em::column_normalize(&shared.phi_item_num, phi_item, col_scratch);
     em::normalize_rows(theta_t_num, theta_t);
     crate::config::update_lambda(
         lambda_shrinkage,

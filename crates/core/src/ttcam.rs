@@ -250,6 +250,7 @@ impl TtcamModel {
         let mut phi_t_item_num = Matrix::zeros(v_dim, k2);
         let mut ctx_weight = vec![0.0; cuboid.nnz()];
         let mut pair_weight = vec![0.0; ctx_index.num_pairs()];
+        let mut col_scratch = vec![0.0; k1.max(k2)];
 
         let mut trace: Vec<FitTrace> = Vec::with_capacity(config.max_iterations);
         let mut converged = false;
@@ -275,44 +276,85 @@ impl TtcamModel {
                 let ctx_index = &ctx_index;
                 let lambda = &lambda[..];
                 let background = &background[..];
-                // Each shard also owns the window of the `ctx_weight`
-                // buffer covering exactly its users' entries.
-                let mut weight_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
-                let mut rest = ctx_weight.as_mut_slice();
-                let mut consumed = 0usize;
-                for r in &shards {
-                    let end = cuboid.entry_range(r.clone()).end;
-                    let (head, tail) = rest.split_at_mut(end - consumed);
-                    weight_views.push(head);
-                    rest = tail;
-                    consumed = end;
-                }
-                let tasks: Vec<_> = shards
-                    .iter()
-                    .cloned()
-                    .zip(user_stats.split(&shards))
-                    .zip(scratch.iter_mut().zip(weight_views))
-                    .collect();
-                run_tasks(config.num_threads, tasks, |((users, mut view), (shard, weights))| {
-                    let base = cuboid.entry_range(users.clone()).start;
-                    for u in users {
-                        e_step_user(
-                            cuboid,
-                            UserId::from(u),
-                            theta,
-                            phi_item,
-                            ctx_sum,
-                            ctx_index,
-                            lambda,
-                            background,
-                            lam_b,
-                            base,
-                            weights,
-                            &mut view,
-                            shard,
-                        );
+                if config.num_threads <= 1 {
+                    // Serial dispatch: the same shards in the same
+                    // order, but without materializing the task list —
+                    // warm iterations stay allocation-free (asserted by
+                    // `tests/zero_alloc.rs`). Each shard still owns the
+                    // window of `ctx_weight` covering its users'
+                    // entries, carved off progressively.
+                    let mut rest = ctx_weight.as_mut_slice();
+                    let mut consumed = 0usize;
+                    let mut shard_scratch = scratch.iter_mut();
+                    user_stats.for_each_view(&shards, |users, mut view| {
+                        let entries = cuboid.entry_range(users.clone());
+                        let (weights, tail) =
+                            std::mem::take(&mut rest).split_at_mut(entries.end - consumed);
+                        rest = tail;
+                        consumed = entries.end;
+                        let shard = shard_scratch.next().expect("one scratch per shard");
+                        for u in users {
+                            e_step_user(
+                                cuboid,
+                                UserId::from(u),
+                                theta,
+                                phi_item,
+                                ctx_sum,
+                                ctx_index,
+                                lambda,
+                                background,
+                                lam_b,
+                                entries.start,
+                                weights,
+                                &mut view,
+                                shard,
+                            );
+                        }
+                    });
+                } else {
+                    // Each shard also owns the window of the `ctx_weight`
+                    // buffer covering exactly its users' entries.
+                    let mut weight_views: Vec<&mut [f64]> = Vec::with_capacity(shards.len());
+                    let mut rest = ctx_weight.as_mut_slice();
+                    let mut consumed = 0usize;
+                    for r in &shards {
+                        let end = cuboid.entry_range(r.clone()).end;
+                        let (head, tail) = rest.split_at_mut(end - consumed);
+                        weight_views.push(head);
+                        rest = tail;
+                        consumed = end;
                     }
-                });
+                    let tasks: Vec<_> = shards
+                        .iter()
+                        .cloned()
+                        .zip(user_stats.split(&shards))
+                        .zip(scratch.iter_mut().zip(weight_views))
+                        .collect();
+                    run_tasks(
+                        config.num_threads,
+                        tasks,
+                        |((users, mut view), (shard, weights))| {
+                            let base = cuboid.entry_range(users.clone()).start;
+                            for u in users {
+                                e_step_user(
+                                    cuboid,
+                                    UserId::from(u),
+                                    theta,
+                                    phi_item,
+                                    ctx_sum,
+                                    ctx_index,
+                                    lambda,
+                                    background,
+                                    lam_b,
+                                    base,
+                                    weights,
+                                    &mut view,
+                                    shard,
+                                );
+                            }
+                        },
+                    );
+                }
             }
             em::merge_tree(&mut scratch);
             let log_likelihood = scratch[0].log_likelihood;
@@ -382,6 +424,7 @@ impl TtcamModel {
                 &mut theta_t,
                 &mut phi_t_item,
                 &mut lambda,
+                &mut col_scratch,
             );
         }
 
@@ -577,6 +620,7 @@ impl TtcamModel {
 /// `K2` responsibility vector is reconstructed later, once per distinct
 /// pair, from the scalar weight written to `weights` (rebased by
 /// `entry_base`).
+// tcam-lint: hot
 #[allow(clippy::too_many_arguments)]
 fn e_step_user(
     cuboid: &RatingCuboid,
@@ -641,7 +685,9 @@ fn e_step_user(
     view.lambda_mass_add(u, lambda_num, mass);
 }
 
-/// M-step (Eqs. 8, 9, 11, 15, 16).
+/// M-step (Eqs. 8, 9, 11, 15, 16). `col_scratch` is reusable column-sum
+/// scratch for the two column normalizations.
+// tcam-lint: hot
 #[allow(clippy::too_many_arguments)]
 fn m_step(
     lambda_shrinkage: f64,
@@ -654,11 +700,12 @@ fn m_step(
     theta_t: &mut Matrix,
     phi_t_item: &mut Matrix,
     lambda: &mut [f64],
+    col_scratch: &mut Vec<f64>,
 ) {
     em::normalize_rows(&user_stats.theta_num, theta);
-    em::column_normalize(&shared.phi_item_num, phi_item);
+    em::column_normalize(&shared.phi_item_num, phi_item, col_scratch);
     em::normalize_rows(theta_t_num, theta_t);
-    em::column_normalize(phi_t_item_num, phi_t_item);
+    em::column_normalize(phi_t_item_num, phi_t_item, col_scratch);
     crate::config::update_lambda(
         lambda_shrinkage,
         &user_stats.lambda_num,

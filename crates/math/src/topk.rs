@@ -102,6 +102,7 @@ impl TopK {
     }
 
     /// Offers an entry; it is kept only if it beats the current k-th best.
+    // tcam-lint: hot
     pub fn push(&mut self, index: usize, score: f64) {
         if self.k == 0 {
             return;
@@ -126,9 +127,21 @@ impl TopK {
     /// Drains the collected entries sorted best-first, leaving the
     /// collector empty but with its heap allocation intact for reuse.
     pub fn drain_sorted(&mut self) -> Vec<Scored> {
-        let mut entries: Vec<Scored> = self.heap.drain().map(|r| r.0).collect();
-        entries.sort_unstable_by(|a, b| b.cmp(a));
+        let mut entries = Vec::with_capacity(self.heap.len());
+        self.drain_sorted_into(&mut entries);
         entries
+    }
+
+    /// Drains the collected entries sorted best-first into `out`
+    /// (cleared first). Both the collector's heap and `out` keep their
+    /// allocations, so a warm caller-owned `out` makes the whole query
+    /// path allocation-free — the form the steady-state serving loop
+    /// uses.
+    // tcam-lint: hot
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Scored>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|r| r.0));
+        out.sort_unstable_by(|a, b| b.cmp(a));
     }
 }
 

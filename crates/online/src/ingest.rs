@@ -102,6 +102,7 @@ impl IncrementalCuboid {
         // The map key IS (u, t, v) in sorted order and the filter keeps
         // only positive cells, so the contract holds by construction.
         RatingCuboid::from_sorted_ratings(self.num_users, self.num_times, self.num_items, cells)
+            // tcam-lint: allow(no-panic) -- infallible by the construction argument above
             .expect("incremental cells satisfy the sorted-cells contract")
     }
 
@@ -160,6 +161,8 @@ impl IncrementalWeighting {
     }
 
     /// Records that cell `(user, time, item)` just became positive.
+    // tcam-lint: allow-fn(no-panic) -- item was bounds-checked by the log's accept path,
+    // and `active_users_per_t` is resized to cover `t` immediately before indexing
     pub fn record(&mut self, user: u32, time: u32, item: u32) {
         self.users.insert(user);
         if self.user_items.insert((user, item)) {
@@ -183,6 +186,7 @@ impl IncrementalWeighting {
         active.resize(num_times, 0);
         let mut burst: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_times];
         for (&(t, v), &count) in &self.tv_counts {
+            // tcam-lint: allow(no-panic) -- every recorded time is < num_times by the log contract
             burst[t as usize].push((v, count));
         }
         ItemWeighting::from_counts(self.users.len(), self.item_users.clone(), active, burst)

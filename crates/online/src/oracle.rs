@@ -24,6 +24,7 @@ pub fn batch_cuboid(log: &IngestLog) -> RatingCuboid {
         log.num_items(),
         log.ratings().to_vec(),
     )
+    // tcam-lint: allow(no-panic) -- the log's accept path already ran this validation
     .expect("accepted ratings passed the same validation from_ratings applies")
 }
 

@@ -125,6 +125,8 @@ pub struct Query {
 }
 
 /// Extracts all queries from a split.
+// tcam-lint: allow-fn(no-panic) -- `start`/`end` form a cursor walk over `entries`
+// whose loop conditions keep both strictly within `entries.len()`
 pub fn queries_of_split(split: &Split, policy: ExcludePolicy) -> Vec<Query> {
     let mut queries = Vec::new();
     for u in 0..split.test.num_users() {
@@ -192,6 +194,7 @@ pub fn evaluate_queries<S: TemporalScorer + ?Sized>(
                 .chunks(chunk_size)
                 .map(|chunk| scope.spawn(move || eval_chunk(scorer, chunk, k_max)))
                 .collect();
+            // tcam-lint: allow(no-panic) -- re-raising a worker panic, not introducing one
             handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
         })
     };
@@ -233,6 +236,8 @@ pub fn evaluate_queries<S: TemporalScorer + ?Sized>(
 }
 
 /// Evaluates one chunk of queries, returning per-k metric *sums*.
+// tcam-lint: allow-fn(no-panic) -- excluded item ids were validated against the
+// catalog when the split was built, so `buffer[v]` is in bounds
 fn eval_chunk<S: TemporalScorer + ?Sized>(
     scorer: &S,
     queries: &[Query],
@@ -265,6 +270,8 @@ fn eval_chunk<S: TemporalScorer + ?Sized>(
 }
 
 /// Averages reports across folds (same model, same `k_max`).
+// tcam-lint: allow-fn(no-panic) -- non-emptiness is asserted up front and the
+// same-`k_max` precondition makes every `per_k[i]` access in bounds
 pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
     assert!(!reports.is_empty(), "need at least one report");
     let k_max = reports[0].per_k.len();

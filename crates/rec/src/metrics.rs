@@ -32,6 +32,8 @@ pub struct RankingMetrics {
 /// `ranked` is best-first. `relevant` must be sorted ascending and
 /// deduplicated (binary membership tests). `k = 0` or empty `relevant`
 /// yields all-zero metrics.
+// tcam-lint: allow-fn(no-panic) -- `slot` comes from a successful binary_search
+// over `relevant`, and `credited` is sized to `relevant.len()`
 pub fn metrics_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> RankingMetrics {
     if k == 0 || relevant.is_empty() {
         return RankingMetrics::default();

@@ -67,6 +67,7 @@ impl ScratchPool {
     /// the pool is empty). The buffer returns to the pool when the
     /// guard drops.
     pub fn checkout(&self) -> ScratchGuard<'_> {
+        // tcam-lint: allow(no-panic) -- a poisoned pool means a panic already happened
         let recycled = self.idle.lock().expect("scratch pool poisoned").pop();
         let scratch = recycled.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
@@ -83,6 +84,7 @@ impl ScratchPool {
 
     /// Buffers currently parked in the pool.
     pub fn idle(&self) -> usize {
+        // tcam-lint: allow(no-panic) -- a poisoned pool means a panic already happened
         self.idle.lock().expect("scratch pool poisoned").len()
     }
 }
@@ -97,12 +99,14 @@ pub struct ScratchGuard<'a> {
 impl Deref for ScratchGuard<'_> {
     type Target = Scratch;
     fn deref(&self) -> &Scratch {
+        // tcam-lint: allow(no-panic) -- the Option is only taken in Drop
         self.scratch.as_ref().expect("scratch present until drop")
     }
 }
 
 impl DerefMut for ScratchGuard<'_> {
     fn deref_mut(&mut self) -> &mut Scratch {
+        // tcam-lint: allow(no-panic) -- the Option is only taken in Drop
         self.scratch.as_mut().expect("scratch present until drop")
     }
 }
@@ -110,6 +114,7 @@ impl DerefMut for ScratchGuard<'_> {
 impl Drop for ScratchGuard<'_> {
     fn drop(&mut self) {
         if let Some(scratch) = self.scratch.take() {
+            // tcam-lint: allow(no-panic) -- a poisoned pool means a panic already happened
             self.pool.idle.lock().expect("scratch pool poisoned").push(scratch);
         }
     }

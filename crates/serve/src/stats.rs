@@ -40,6 +40,7 @@ impl Log2Histogram {
     }
 
     /// Records one observation.
+    // tcam-lint: allow-fn(no-panic) -- the bucket index is clamped to BUCKETS - 1
     pub fn record(&self, value: u64) {
         let bucket = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
@@ -56,6 +57,7 @@ impl Log2Histogram {
     pub fn snapshot(&self) -> Vec<u64> {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let trimmed = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        // tcam-lint: allow(no-panic) -- rposition yields i < len, so trimmed <= len
         counts[..trimmed].to_vec()
     }
 

@@ -1,0 +1,147 @@
+//! Workspace automation driver (the cargo `xtask` pattern: a plain
+//! binary crate, so the tooling needs nothing but cargo itself).
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root DIR] [--config FILE]
+//! ```
+//!
+//! Walks the scan set declared in `tcam-lint.toml`, runs every
+//! `tcam-analysis` rule on each file, prints `path:line: [rule] message`
+//! diagnostics, and exits nonzero if any are found. `--root` retargets
+//! the walk (used by CI to prove the linter fails on the seeded
+//! fixtures); `--config` overrides the config path (default
+//! `<root>/tcam-lint.toml`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tcam_analysis::{check_source, Config, Diagnostic};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("usage: cargo run -p xtask -- lint [--root DIR] [--config FILE]");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "lint" => lint(args),
+        other => {
+            eprintln!("unknown xtask command `{other}` (expected: lint)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| match args.next() {
+            Some(v) => Some(PathBuf::from(v)),
+            None => {
+                eprintln!("{name} requires a value");
+                None
+            }
+        };
+        match flag.as_str() {
+            "--root" => match take("--root") {
+                Some(v) => root = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--config" => match take("--config") {
+                Some(v) => config_path = Some(v),
+                None => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let config_path = config_path.unwrap_or_else(|| root.join("tcam-lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("{}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &config, &mut files);
+    files.sort();
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let src = match std::fs::read_to_string(&full) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("cannot read {}: {err}", full.display());
+                return ExitCode::from(2);
+            }
+        };
+        diagnostics.extend(check_source(rel, &src, &config));
+    }
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("tcam-lint: {} files scanned, no violations", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "tcam-lint: {} violation(s) in {} file(s) scanned",
+            diagnostics.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root is two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+/// Recursively collects root-relative `/`-separated paths of `.rs`
+/// files in the config's scan set. Hidden and `target/` directories are
+/// never descended into.
+fn collect_rs_files(root: &Path, dir: &Path, config: &Config, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect_rs_files(root, &path, config, out);
+        } else if name.ends_with(".rs") {
+            let rel: String = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if config.scans(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+}
